@@ -1,0 +1,34 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (table/figure series) via
+its ``repro.experiments`` driver, prints the series next to the paper's
+reference numbers, and asserts the qualitative shape.  pytest-benchmark
+measures the harness wall time; the *simulated* milliseconds inside the
+printed tables are the reproduction's actual results.
+
+Environment knobs:
+    REPRO_BENCH_N   — synthetic element count (default 1_000_000)
+    REPRO_BENCH_SF  — SSB scale factor (default 0.02)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ssb.dbgen import generate
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000000"))
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    """One shared SSB database for all SSB-based benches."""
+    return generate(scale_factor=BENCH_SF, seed=7)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,34 @@
+"""E3 + miniblock benches — the Section 4.3 design-choice ablations."""
+
+from conftest import BENCH_N, BENCH_SF, run_once
+
+from repro.experiments import ablation_miniblocks, ablation_vertical
+from repro.experiments.common import print_experiment
+
+
+def test_vertical_layout_decode(benchmark):
+    rows = run_once(benchmark, ablation_vertical.run_decode, n=BENCH_N)
+    print_experiment(
+        "E3a: vertical vs horizontal decode (paper: 1.55 vs 4.3 ms, 2.7x)", rows
+    )
+    assert 1.8 < rows[-1]["simulated_ms"] < 4.0
+
+
+def test_vertical_layout_query(benchmark):
+    rows = run_once(benchmark, ablation_vertical.run_query, sf=BENCH_SF)
+    print_experiment("E3b: SSB q1.1 vertical vs horizontal (paper: 14x)", rows)
+    assert rows[-1]["q1.1_ms"] > 8  # order-of-magnitude collapse
+
+
+def test_miniblock_ablation(benchmark):
+    rows = run_once(benchmark, ablation_miniblocks.run, n=BENCH_N)
+    print_experiment(
+        "Miniblocks vs single bitwidth (paper: 2.1 -> 2.0 ms, equal size)", rows
+    )
+    four, single = rows
+    assert abs(four["bits_per_int"] - single["bits_per_int"]) < 0.01
+    assert single["decode_ms"] < four["decode_ms"]
+
+    skewed = ablation_miniblocks.run(n=BENCH_N, skewed=True)
+    print_experiment("Same with one skewed value per 256", skewed)
+    assert skewed[1]["bits_per_int"] > skewed[0]["bits_per_int"] + 2

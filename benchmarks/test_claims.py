@@ -1,0 +1,31 @@
+"""Claims benches — the Section 1 planner-obsolescence argument and the
+Section 2.2 related-work comparisons."""
+
+from conftest import run_once
+
+from repro.experiments import planner_obsolete, related_work
+from repro.experiments.common import print_experiment
+
+
+def test_planner_obsolete(benchmark):
+    rows = run_once(benchmark, planner_obsolete.run, n=300_000)
+    print_experiment(
+        "Claims — §1: scheme-choice regret, cascading vs tile-based", rows
+    )
+    for r in rows:
+        assert r["tile_regret"] <= r["cascade_regret"] + 1e-9
+        assert r["tile_time_spread"] < r["cascade_time_spread"]
+
+
+def test_related_work(benchmark):
+    rows = run_once(benchmark, related_work.run, n=150_000)
+    print_experiment("Related work — compression rate", related_work.rate_rows(rows))
+    print_experiment("Related work — decode time", related_work.time_rows(rows))
+    uniform = next(r for r in rows if r["dataset"] == "uniform-16bit")
+    # The paper's reason for benchmarking GPU-BP instead of GPU-VByte.
+    assert uniform["rate gpu-bp"] < uniform["rate gpu-vbyte"]
+    assert uniform["time gpu-bp"] < uniform["time gpu-vbyte"]
+    # GPU-FOR decodes fastest across the board.
+    for r in rows:
+        for codec in ("gpu-bp", "gpu-vbyte", "pfor", "simple8b"):
+            assert r["time gpu-for"] <= r[f"time {codec}"] + 1e-9

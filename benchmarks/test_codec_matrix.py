@@ -1,0 +1,54 @@
+"""Codec throughput matrix: encode/decode wall-clock for every format.
+
+Unlike the simulated-time benches, these measure the *Python library's*
+real throughput (pytest-benchmark), which is what a user of the encoders
+experiences.  Simple-8b runs at a reduced size — its reference implementation keeps
+the greedy per-word Python loop for clarity.
+"""
+
+import pytest
+from conftest import BENCH_N
+
+from repro.formats.registry import get_codec
+from repro.workloads.synthetic import runs, uniform_bitwidth
+
+_N = min(BENCH_N, 300_000)
+_SLOW_N = 30_000
+
+#: codec -> (dataset maker, element count)
+MATRIX = {
+    "gpu-for": (lambda: uniform_bitwidth(16, _N), _N),
+    "gpu-dfor": (lambda: uniform_bitwidth(16, _N), _N),
+    "gpu-rfor": (lambda: runs(8, _N, distinct=1000), _N),
+    "gpu-bp": (lambda: uniform_bitwidth(16, _N), _N),
+    "gpu-simdbp128": (lambda: uniform_bitwidth(16, _N), _N),
+    "gpu-vbyte": (lambda: uniform_bitwidth(16, _N), _N),
+    "nsf": (lambda: uniform_bitwidth(16, _N), _N),
+    "nsv": (lambda: uniform_bitwidth(16, _N), _N),
+    "rle": (lambda: runs(8, _N, distinct=1000), _N),
+    "delta": (lambda: uniform_bitwidth(16, _N), _N),
+    "dict": (lambda: uniform_bitwidth(10, _N), _N),
+    "pfor": (lambda: uniform_bitwidth(16, _N), _N),
+    "simple8b": (lambda: uniform_bitwidth(16, _SLOW_N), _SLOW_N),
+}
+
+
+@pytest.mark.parametrize("name", list(MATRIX))
+def test_encode_throughput(benchmark, name):
+    maker, n = MATRIX[name]
+    data = maker()
+    codec = get_codec(name)
+    benchmark.extra_info["elements"] = n
+    enc = benchmark(codec.encode, data)
+    assert enc.count == n
+
+
+@pytest.mark.parametrize("name", list(MATRIX))
+def test_decode_throughput(benchmark, name):
+    maker, n = MATRIX[name]
+    data = maker()
+    codec = get_codec(name)
+    enc = codec.encode(data)
+    benchmark.extra_info["elements"] = n
+    out = benchmark(codec.decode, enc)
+    assert out.size == n

@@ -1,0 +1,62 @@
+"""E15 bench — Section 8: encode speed (genuine wall-clock measurement)."""
+
+from conftest import BENCH_N
+
+from repro.experiments import compression_speed
+from repro.experiments.common import print_experiment
+from repro.formats.registry import get_codec
+from repro.workloads.synthetic import uniform_bitwidth
+
+
+def test_compression_speed_table(benchmark):
+    rows = benchmark.pedantic(
+        compression_speed.run,
+        kwargs={"n": min(BENCH_N, 500_000)},
+        iterations=1,
+        rounds=1,
+    )
+    print_experiment(
+        "E15: Section 8 — compression speed (paper: 1.2 / 1.3 / 2.2 s per 250M)",
+        rows,
+    )
+    times = {r["scheme"]: r["encode_s"] for r in rows}
+    assert times["gpu-rfor"] > times["gpu-for"]  # RFOR slowest on random data
+
+
+def test_encode_gpu_for(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-for")
+    benchmark(codec.encode, data)
+
+
+def test_encode_gpu_dfor(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-dfor")
+    benchmark(codec.encode, data)
+
+
+def test_encode_gpu_rfor(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-rfor")
+    benchmark(codec.encode, data)
+
+
+def test_decode_gpu_for(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-for")
+    enc = codec.encode(data)
+    benchmark(codec.decode, enc)
+
+
+def test_decode_gpu_dfor(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-dfor")
+    enc = codec.encode(data)
+    benchmark(codec.decode, enc)
+
+
+def test_decode_gpu_rfor(benchmark):
+    data = uniform_bitwidth(16, min(BENCH_N, 500_000))
+    codec = get_codec("gpu-rfor")
+    enc = codec.encode(data)
+    benchmark(codec.decode, enc)

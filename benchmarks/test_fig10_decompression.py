@@ -1,0 +1,28 @@
+"""E10/E11 bench — Figure 10: decompression speed on SSB columns."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_decompression
+from repro.experiments.common import print_experiment
+
+
+def test_fig10_decompression(benchmark, bench_db):
+    rows = run_once(benchmark, fig10_decompression.run, db=bench_db)
+    print_experiment(
+        "E10: Figure 10a — per-column decompression (ms at SF=20)",
+        rows,
+        columns=["column", "gpu-star", "nvcomp", "planner", "gpu-bp",
+                 "gpu-star scheme", "nvcomp scheme"],
+    )
+    ratios = fig10_decompression.cascade_ratios(rows)
+    print_experiment("Figure 10a cascade ratios (paper: 2.4 / 3.5 / 2.0)", ratios)
+    for r in ratios:
+        assert 1.4 < r["nvcomp_over_gpu_star"] < 4.5, r
+
+    g = fig10_decompression.geomeans(rows)
+    print_experiment(
+        "E11: Figure 10b geomeans (paper ratios: planner 5.5, gpu-bp 2, nvcomp 2.2)",
+        [{"system": k, "ms": v, "vs gpu-star": v / g["gpu-star"]} for k, v in g.items()],
+    )
+    assert g["gpu-star"] < g["gpu-bp"] < g["nvcomp"]
+    assert g["planner"] > 2 * g["gpu-star"]

@@ -1,0 +1,23 @@
+"""E12 bench — Figure 11: all 13 SSB queries across the six systems."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_ssb_queries
+from repro.experiments.common import print_experiment
+
+
+def test_fig11_ssb_queries(benchmark, bench_db):
+    rows = run_once(benchmark, fig11_ssb_queries.run, db=bench_db)
+    print_experiment("E12: Figure 11 — SSB query times (ms at SF=20)", rows)
+    ratios = fig11_ssb_queries.ratios(rows)
+    print_experiment(
+        "Figure 11 geomean ratios vs GPU-* "
+        "(paper: omnisci 12, planner 4, gpu-bp 2.4, nvcomp 2.6, none 0.74)",
+        ratios,
+    )
+    by_system = {r["system"]: r["vs_gpu_star"] for r in ratios}
+    assert 0.6 < by_system["none"] < 0.95
+    assert 2.0 < by_system["nvcomp"] < 5.0
+    assert 3.0 < by_system["planner"] < 8.0
+    assert 2.0 < by_system["gpu-bp"] < 4.5
+    assert 8.0 < by_system["omnisci"] < 16.0

@@ -1,0 +1,17 @@
+"""E13 bench — Figure 12: GPU-as-coprocessor (paper speedup: 2.3x)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_coprocessor
+from repro.experiments.common import print_experiment
+
+
+def test_fig12_coprocessor(benchmark, bench_db):
+    rows = run_once(benchmark, fig12_coprocessor.run, db=bench_db)
+    print_experiment(
+        "E13: Figure 12 — coprocessor model (ms at SF=20)",
+        rows,
+        columns=["query", "none", "gpu-star", "speedup"],
+    )
+    geo = next(r for r in rows if r["query"] == "geomean")
+    assert 1.8 < geo["speedup"] < 3.2

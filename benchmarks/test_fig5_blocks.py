@@ -1,0 +1,15 @@
+"""E2 bench — Figure 5: decompression time vs D (the U-shape)."""
+
+from conftest import BENCH_N, run_once
+
+from repro.experiments import fig5_blocks_per_tb
+from repro.experiments.common import print_experiment
+
+
+def test_fig5_d_sweep(benchmark):
+    rows = run_once(benchmark, fig5_blocks_per_tb.run, n=BENCH_N)
+    print_experiment("E2: Figure 5 — decompression vs D (500M-projected)", rows)
+    by_d = {r["D"]: r["simulated_ms"] for r in rows}
+    assert by_d[1] > by_d[2] > by_d[4]  # the big early win
+    assert by_d[16] <= by_d[8]  # marginal improvement continues
+    assert by_d[32] > 2 * by_d[16]  # occupancy/spill collapse

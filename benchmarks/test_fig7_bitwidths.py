@@ -1,0 +1,24 @@
+"""E4/E5 bench — Figure 7: decompression time & compression rate vs bitwidth."""
+
+from conftest import BENCH_N, run_once
+
+from repro.experiments import fig7_bitwidths
+from repro.experiments.common import print_experiment
+
+
+def test_fig7_time_and_rate(benchmark):
+    rows = run_once(benchmark, fig7_bitwidths.run, n=min(BENCH_N, 1_000_000))
+    print_experiment(
+        "E4: Figure 7a — decompression time (ms, 250M-projected)",
+        fig7_bitwidths.time_rows(rows),
+    )
+    print_experiment(
+        "E5: Figure 7b — compression rate (bits/int)", fig7_bitwidths.rate_rows(rows)
+    )
+    for r in rows:
+        # Rate: bit-packed schemes are linear in bitwidth with small overhead.
+        assert abs(r["rate GPU-FOR"] - (r["bitwidth"] + 0.75)) < 0.4
+        # Time: tile-based beats its own cascading counterpart.
+        assert r["time FOR+BitPack"] > 1.9 * r["time GPU-FOR"]
+        assert r["time Delta+FOR+BitPack"] > 3.0 * r["time GPU-DFOR"]
+        assert r["time RLE+FOR+BitPack"] > 6.0 * r["time GPU-RFOR"]

@@ -1,0 +1,20 @@
+"""E9 bench — Figure 9: the SSB compression waterfall."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_ssb_compression
+from repro.experiments.common import print_experiment
+
+
+def test_fig9_compression_waterfall(benchmark, bench_db):
+    rows = run_once(benchmark, fig9_ssb_compression.run, db=bench_db)
+    print_experiment("E9: Figure 9 — SSB column sizes (MB at SF=20)", rows)
+    s = fig9_ssb_compression.summary(rows)
+    print_experiment(
+        "Figure 9 footprint ratios vs GPU-* (paper: 2.8 / ~1.5 / ~1.4 / ~1.02)",
+        [{"baseline": k, "ratio": v} for k, v in s.items()],
+    )
+    assert 2.4 < s["none_over_gpu_star"] < 3.6
+    assert 1.2 < s["gpu_bp_over_gpu_star"] < 1.8
+    assert 1.1 < s["planner_over_gpu_star"] < 1.6
+    assert 0.98 < s["nvcomp_over_gpu_star"] < 1.15

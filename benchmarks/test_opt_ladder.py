@@ -1,0 +1,14 @@
+"""E1 bench — Section 4.2 optimization ladder (paper: 18 / 7 / 2.39 / 2.1 ms)."""
+
+from conftest import BENCH_N, run_once
+
+from repro.experiments import opt_ladder
+from repro.experiments.common import print_experiment
+
+
+def test_opt_ladder(benchmark):
+    rows = run_once(benchmark, opt_ladder.run, n=BENCH_N)
+    print_experiment("E1: Section 4.2 optimization ladder (500M-projected)", rows)
+    times = [r["simulated_ms"] for r in rows[:4]]
+    assert times[0] > times[1] > times[2] > times[3]
+    assert times[3] < rows[4]["simulated_ms"] * 1.05  # beats reading None

@@ -1,0 +1,20 @@
+"""E14 bench — Section 8: random access under a selectivity sweep."""
+
+from conftest import BENCH_N, run_once
+
+from repro.experiments import random_access
+from repro.experiments.common import print_experiment
+
+
+def test_random_access_sweep(benchmark):
+    rows = run_once(benchmark, random_access.run, n=min(BENCH_N, 1_000_000))
+    print_experiment(
+        "E14: Section 8 — random access vs selectivity "
+        "(paper plateaus: compressed 2.1 ms < uncompressed 2.5 ms)",
+        rows,
+    )
+    comp = [r["compressed_ms"] for r in rows]
+    unc = [r["uncompressed_ms"] for r in rows]
+    assert comp[-1] < unc[-1]  # compressed plateau below uncompressed
+    assert comp[-1] / comp[0] > 3  # compressed has a real knee
+    assert abs(comp[-1] - comp[-3]) / comp[-1] < 0.02  # and a flat plateau

@@ -1,0 +1,31 @@
+"""Extension bench — does the paper transfer to a newer GPU (A100)?"""
+
+from conftest import BENCH_N, run_once
+
+from repro.experiments import sensitivity_gpu
+from repro.experiments.common import print_experiment
+
+
+def test_sensitivity_d_sweep(benchmark):
+    rows = run_once(benchmark, sensitivity_gpu.run_d_sweep, n=BENCH_N)
+    print_experiment("Figure 5 D-sweep on V100 vs A100 (ms)", rows)
+    by_d = {r["D"]: r for r in rows}
+    # The V100 collapses at D=32; the A100's bigger shared memory doesn't.
+    assert by_d[32]["V100"] > 2 * by_d[16]["V100"]
+    assert by_d[32]["A100"] < 1.5 * by_d[16]["A100"]
+
+
+def test_sensitivity_tile_advantage(benchmark):
+    rows = run_once(benchmark, sensitivity_gpu.run_tile_vs_cascade, n=BENCH_N)
+    print_experiment("tile vs cascade advantage across devices", rows)
+    for r in rows:
+        assert r["V100 ratio"] > 1.5
+        assert r["A100 ratio"] > 1.5  # structural, not device-specific
+
+
+def test_sensitivity_tuner(benchmark):
+    rows = run_once(benchmark, sensitivity_gpu.run_tuner)
+    print_experiment("Section 8 D auto-tuner", rows)
+    by_key = {(r["device"], r["output_columns"]): r["best_D"] for r in rows}
+    assert by_key[("V100", 4)] == 4  # the paper's choice
+    assert by_key[("A100", 4)] >= by_key[("V100", 4)]  # the §8 prediction

@@ -1,0 +1,63 @@
+"""SSB analytics: run the paper's end-to-end workload (Figures 9 and 11).
+
+Generates a Star Schema Benchmark database, compresses the fact table
+under each competing system, runs all 13 SSB queries through the
+Crystal-style engine, verifies every system returns identical answers,
+and prints the compression waterfall plus the query-time comparison.
+
+Run:  python examples/ssb_analytics.py [scale_factor]
+"""
+
+import sys
+
+from repro import CrystalEngine, GPUDevice, QUERIES, generate_ssb, load_lineorder
+from repro.experiments.common import PAPER_SF, format_table, geomean
+
+SYSTEMS = ("none", "gpu-star", "nvcomp", "planner", "gpu-bp", "omnisci")
+
+
+def main(scale_factor: float = 0.02) -> None:
+    print(f"generating SSB at SF={scale_factor} ...")
+    db = generate_ssb(scale_factor=scale_factor)
+    project = PAPER_SF / scale_factor
+    print(f"lineorder: {db.num_lineorder_rows:,} rows "
+          f"(projected to the paper's SF=20 for reporting)\n")
+
+    stores = {system: load_lineorder(db, system) for system in SYSTEMS}
+
+    print("compressed fact-table footprint:")
+    raw = stores["none"].total_bytes
+    for system, store in stores.items():
+        print(f"  {system:9s} {store.total_bytes / 1e6:8.1f} MB "
+              f"({raw / store.total_bytes:.2f}x vs raw)")
+
+    print("\nrunning 13 SSB queries on each system ...")
+    times: dict[str, dict[str, float]] = {}
+    answers: dict[str, dict] = {}
+    for system, store in stores.items():
+        times[system] = {}
+        for qname, query in QUERIES.items():
+            engine = CrystalEngine(db, store, GPUDevice())
+            result = engine.run(query)
+            times[system][qname] = result.scaled_ms(project)
+            answers.setdefault(qname, result.groups)
+            assert result.groups == answers[qname], (
+                f"{system} disagrees on {qname}"
+            )
+    print("all systems returned identical answers\n")
+
+    rows = [
+        {"query": q, **{s: times[s][q] for s in SYSTEMS}} for q in QUERIES
+    ]
+    rows.append({"query": "geomean", **{s: geomean(times[s].values()) for s in SYSTEMS}})
+    print(format_table(rows))
+
+    star = geomean(times["gpu-star"].values())
+    print("\ngeomean slowdown vs GPU-* (paper: none 0.74, nvcomp 2.6, "
+          "planner 4, gpu-bp 2.4, omnisci 12):")
+    for system in SYSTEMS:
+        print(f"  {system:9s} {geomean(times[system].values()) / star:6.2f}x")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

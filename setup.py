@@ -1,0 +1,7 @@
+"""Setup shim: lets pip perform a legacy editable install in offline
+environments that lack the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — Tile-based Lightweight Integer Compression in GPU (SIGMOD 2022).
+
+A full Python reproduction of Shanbhag, Yogatama, Yu & Madden's paper:
+bit-exact implementations of the GPU-FOR / GPU-DFOR / GPU-RFOR compression
+formats, the tile-based single-pass decompression model, a Crystal-style
+tile-based query engine with inline decompression, all evaluated baselines
+(NSF, NSV, RLE, GPU-BP, GPU-SIMDBP128, the Fang et al. planner, an nvCOMP
+model, an OmniSci model), an SSB data generator, and a deterministic GPU
+performance simulator standing in for the paper's V100 (see DESIGN.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import GpuFor, GPUDevice, decompress
+
+    data = np.random.default_rng(0).integers(0, 2**16, 1_000_000)
+    enc = GpuFor().encode(data)
+    print(f"{enc.bits_per_int:.2f} bits/int")  # ~16.75
+
+    device = GPUDevice()
+    report = decompress(enc, device)            # one simulated kernel pass
+    assert np.array_equal(report.values, data)
+    print(f"{report.simulated_ms:.3f} simulated ms")
+"""
+
+from repro.core import (
+    ColumnStats,
+    DecompressionReport,
+    choose_gpu_star,
+    decompress,
+    decompress_cascaded,
+    decompress_nvcomp,
+    decompress_planned,
+    encode_nvcomp,
+    heuristic_scheme,
+    plan_column,
+    read_uncompressed,
+)
+from repro.engine import QUERIES, CrystalEngine, QueryResult
+from repro.formats import (
+    ColumnCodec,
+    EncodedColumn,
+    GpuBp,
+    GpuDFor,
+    GpuFor,
+    GpuRFor,
+    GpuSimdBp128,
+    Nsf,
+    Nsv,
+    Rle,
+    TileCodec,
+    codec_names,
+    get_codec,
+)
+from repro.gpusim import A100, V100, GPUDevice, GPUSpec
+from repro.ssb import generate as generate_ssb
+from repro.ssb import load_lineorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "ColumnCodec",
+    "ColumnStats",
+    "CrystalEngine",
+    "DecompressionReport",
+    "EncodedColumn",
+    "GPUDevice",
+    "GPUSpec",
+    "GpuBp",
+    "GpuDFor",
+    "GpuFor",
+    "GpuRFor",
+    "GpuSimdBp128",
+    "Nsf",
+    "Nsv",
+    "QUERIES",
+    "QueryResult",
+    "Rle",
+    "TileCodec",
+    "V100",
+    "choose_gpu_star",
+    "codec_names",
+    "decompress",
+    "decompress_cascaded",
+    "decompress_nvcomp",
+    "decompress_planned",
+    "encode_nvcomp",
+    "generate_ssb",
+    "get_codec",
+    "heuristic_scheme",
+    "load_lineorder",
+    "plan_column",
+    "read_uncompressed",
+]

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: tile-based decompression, the GPU-*
+hybrid chooser, and the competing execution/selection models (cascading
+decompression, the Fang et al. planner, nvCOMP)."""
+
+from repro.core.analysis import (
+    ColumnAnalysis,
+    analyze_column,
+    block_range_bound,
+    delta_entropy,
+    empirical_entropy,
+)
+from repro.core.builder import GpuForBuilder
+from repro.core.cascade import decompress_cascaded
+from repro.core.hybrid import GPU_STAR_SCHEMES, HybridChoice, choose_gpu_star, heuristic_scheme
+from repro.core.nvcomp import (
+    NvCompColumn,
+    decode_nvcomp,
+    decompress_nvcomp,
+    encode_nvcomp,
+)
+from repro.core.planner import (
+    PlannedColumn,
+    decode_planned,
+    decompress_planned,
+    encode_with_plan,
+    plan_column,
+    plan_column_stats,
+    plan_from_stats,
+)
+from repro.core.random_access import (
+    RandomAccessReport,
+    filtered_scan,
+    gather,
+    uncompressed_filtered_scan_ms,
+)
+from repro.core.stats import ColumnStats
+from repro.core.tuning import DChoice, choose_d
+from repro.core.updates import FlushReport, UpdatableColumn
+from repro.core.tile_decompress import (
+    DecompressionReport,
+    decompress,
+    read_uncompressed,
+)
+
+__all__ = [
+    "ColumnAnalysis",
+    "ColumnStats",
+    "GpuForBuilder",
+    "analyze_column",
+    "block_range_bound",
+    "delta_entropy",
+    "empirical_entropy",
+    "DChoice",
+    "FlushReport",
+    "RandomAccessReport",
+    "UpdatableColumn",
+    "choose_d",
+    "filtered_scan",
+    "gather",
+    "uncompressed_filtered_scan_ms",
+    "DecompressionReport",
+    "GPU_STAR_SCHEMES",
+    "HybridChoice",
+    "NvCompColumn",
+    "PlannedColumn",
+    "choose_gpu_star",
+    "decode_nvcomp",
+    "decode_planned",
+    "decompress",
+    "decompress_cascaded",
+    "decompress_nvcomp",
+    "decompress_planned",
+    "encode_nvcomp",
+    "encode_with_plan",
+    "heuristic_scheme",
+    "plan_column",
+    "plan_column_stats",
+    "plan_from_stats",
+    "read_uncompressed",
+]

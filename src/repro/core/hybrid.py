@@ -1,0 +1,74 @@
+"""GPU-*: the per-column hybrid of GPU-FOR / GPU-DFOR / GPU-RFOR.
+
+Section 8's rule of thumb: because tile-based decompression makes all
+three schemes decode at similar (near-bandwidth) speed, there is no
+compression-ratio/speed trade-off left to plan around — simply pick, per
+column, the scheme with the smallest footprint.  This module implements
+both that exact chooser and the stats-only heuristic the section
+describes (sorted & high-NDV -> DFOR, low-NDV or long runs -> RFOR,
+otherwise FOR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import ColumnStats
+from repro.formats.base import EncodedColumn, TileCodec
+from repro.formats.registry import get_codec
+
+#: The schemes GPU-* chooses among.
+GPU_STAR_SCHEMES: tuple[str, ...] = ("gpu-for", "gpu-dfor", "gpu-rfor")
+
+
+@dataclass
+class HybridChoice:
+    """Outcome of GPU-* scheme selection for one column."""
+
+    codec_name: str
+    encoded: EncodedColumn
+    #: Footprints of every candidate, for reporting.
+    candidate_bytes: dict[str, int]
+
+    @property
+    def codec(self) -> TileCodec:
+        codec = get_codec(self.codec_name)
+        assert isinstance(codec, TileCodec)
+        return codec
+
+
+def choose_gpu_star(values: np.ndarray, d_blocks: int = 4) -> HybridChoice:
+    """Encode with all three schemes and keep the smallest (Section 8)."""
+    values = np.asarray(values)
+    candidate_bytes: dict[str, int] = {}
+    best_name = ""
+    best_enc: EncodedColumn | None = None
+    for name in GPU_STAR_SCHEMES:
+        kwargs = {"d_blocks": d_blocks} if name != "gpu-rfor" else {}
+        enc = get_codec(name, **kwargs).encode(values)
+        candidate_bytes[name] = enc.nbytes
+        if best_enc is None or enc.nbytes < best_enc.nbytes:
+            best_name, best_enc = name, enc
+    assert best_enc is not None
+    return HybridChoice(
+        codec_name=best_name, encoded=best_enc, candidate_bytes=candidate_bytes
+    )
+
+
+def heuristic_scheme(stats: ColumnStats) -> str:
+    """Section 8's stats-only rule of thumb (no trial encoding).
+
+    GPU-DFOR for sorted/semi-sorted high-cardinality columns, GPU-RFOR for
+    low-cardinality or high-average-run-length columns, GPU-FOR otherwise.
+    """
+    if stats.count == 0:
+        return "gpu-for"
+    if stats.avg_run_length >= 4.0:
+        return "gpu-rfor"
+    if stats.distinct_count and stats.count / stats.distinct_count >= 64:
+        return "gpu-rfor"
+    if stats.is_sorted and stats.distinct_count > stats.count // 64:
+        return "gpu-dfor"
+    return "gpu-for"

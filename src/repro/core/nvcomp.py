@@ -1,0 +1,161 @@
+"""Behavioural model of nvCOMP's cascaded compression (the strongest
+baseline in Sections 9.4-9.5).
+
+nvCOMP supports the same logical cascade (RLE / delta / frame-of-reference
+/ bit-packing) as the paper's schemes, so its compression ratios track
+GPU-* closely; the paper measures GPU-* only ~2% smaller, attributable to
+nvCOMP's per-chunk metadata.  What nvCOMP lacks is (1) a bit-unpack kernel
+that saturates memory bandwidth and (2) any way to pipeline multiple
+decompression layers with each other or with query execution — every
+layer is its own kernel pass.
+
+The model therefore reuses our bit-exact formats for the payload, adds
+per-chunk metadata overhead, and decodes with the cascading executor at
+reduced unpack efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tile_decompress import DecompressionReport
+from repro.formats.base import EncodedColumn
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+
+#: Values per nvCOMP chunk (batches are compressed independently).
+CHUNK_VALUES = 2048
+#: Metadata bytes per chunk (sizes, scheme tags, chunk offsets).
+CHUNK_METADATA_BYTES = 64
+#: Fraction of peak bandwidth nvCOMP's bit-unpack kernel achieves.
+UNPACK_EFFICIENCY = 0.55
+
+#: nvCOMP cascade configurations and the format each maps onto.
+SCHEMES: dict[str, str] = {
+    "for-bitpack": "gpu-for",
+    "delta-for-bitpack": "gpu-dfor",
+    "rle-for-bitpack": "gpu-rfor",
+}
+
+
+@dataclass
+class NvCompColumn:
+    """One column compressed with an nvCOMP cascade configuration."""
+
+    scheme: str
+    inner: EncodedColumn
+    chunk_metadata_bytes: int
+
+    @property
+    def count(self) -> int:
+        return self.inner.count
+
+    @property
+    def nbytes(self) -> int:
+        return self.inner.nbytes + self.chunk_metadata_bytes
+
+    @property
+    def bits_per_int(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.nbytes * 8 / self.count
+
+
+def encode_nvcomp(values: np.ndarray, scheme: str | None = None) -> NvCompColumn:
+    """Compress ``values`` with an nvCOMP cascade.
+
+    Args:
+        values: 1-D integer array.
+        scheme: one of :data:`SCHEMES`; when omitted, every configuration
+            is tried and the smallest wins (nvCOMP's auto-selector).
+    """
+    values = np.asarray(values)
+    if scheme is not None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown nvCOMP scheme {scheme!r}")
+        candidates = [scheme]
+    else:
+        candidates = list(SCHEMES)
+
+    n_chunks = max(1, -(-values.size // CHUNK_VALUES))
+    overhead = n_chunks * CHUNK_METADATA_BYTES
+    best: NvCompColumn | None = None
+    for name in candidates:
+        inner = get_codec(SCHEMES[name]).encode(values)
+        col = NvCompColumn(scheme=name, inner=inner, chunk_metadata_bytes=overhead)
+        if best is None or col.nbytes < best.nbytes:
+            best = col
+    assert best is not None
+    return best
+
+
+def decode_nvcomp(col: NvCompColumn) -> np.ndarray:
+    """Decompress (bit-exact)."""
+    return get_codec(SCHEMES[col.scheme]).decode(col.inner)
+
+
+def _nvcomp_passes(col: NvCompColumn) -> list[tuple[str, int, int, int]]:
+    """nvCOMP's kernel passes as (name, read_bytes, write_bytes, ops).
+
+    nvCOMP fuses more aggressively than the academic layer-per-kernel
+    cascade (its delta scan adds the reference in the same kernel, its RLE
+    expand is a single searchsorted-style pass), but every layer still
+    round-trips through global memory and the bit-unpack kernel runs below
+    bandwidth saturation.  The read bytes of unpack passes are already
+    inflated by ``1 / UNPACK_EFFICIENCY``.
+    """
+    inner = col.inner
+    n = inner.count
+    decoded = n * 4
+    comp = int(inner.nbytes / UNPACK_EFFICIENCY)
+    if col.scheme == "for-bitpack":
+        return [
+            ("unpack", comp, decoded, n * 9),
+            ("add-reference", decoded, decoded, n * 2),
+        ]
+    if col.scheme == "delta-for-bitpack":
+        return [
+            ("unpack", comp, decoded, n * 9),
+            # Decoupled-lookback scan with the FOR reference folded in.
+            ("delta-scan", 2 * decoded, decoded, n * 5),
+        ]
+    # rle-for-bitpack: unpack both streams, scan the lengths, then one
+    # expand pass that binary-searches each output row's run.
+    n_runs = int(inner.arrays["run_counts"].astype("int64").sum())
+    runs_bytes = n_runs * 4
+    return [
+        ("unpack-values", comp // 2, runs_bytes, n_runs * 9),
+        ("unpack-lengths", comp // 2, runs_bytes, n_runs * 9),
+        ("scan-lengths", 2 * runs_bytes, runs_bytes, n_runs * 5),
+        ("rle-expand", decoded + runs_bytes, decoded, n * 7),
+    ]
+
+
+def decompress_nvcomp(col: NvCompColumn, device: GPUDevice) -> DecompressionReport:
+    """Decode with nvCOMP's execution model: one kernel per cascade layer,
+    bit-unpack below memory-bandwidth saturation."""
+    before = device.elapsed_ms
+    passes = _nvcomp_passes(col)
+    grid = max(1, -(-col.count // 128))
+    for name, read_bytes, write_bytes, ops in passes:
+        with device.launch(
+            f"nvcomp-{col.scheme}-{name}",
+            grid_blocks=grid,
+            block_threads=128,
+            registers_per_thread=28,
+        ) as k:
+            if read_bytes:
+                k.read_linear(read_bytes)
+            if write_bytes:
+                k.write_linear(write_bytes)
+            k.compute(ops)
+    return DecompressionReport(
+        values=decode_nvcomp(col),
+        simulated_ms=device.elapsed_ms - before,
+        kernel_count=len(passes),
+        compressed_bytes=col.nbytes,
+        output_bytes=col.count * 4,
+        launch_overhead_ms=len(passes) * device.spec.kernel_launch_us / 1000.0,
+    )

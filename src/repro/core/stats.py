@@ -1,0 +1,55 @@
+"""Column statistics used by the compression planners.
+
+Both the Fang et al. planner baseline and the paper's own rule-of-thumb
+(Section 8: GPU-DFOR for sorted high-NDV columns, GPU-RFOR for low-NDV or
+high-run-length columns, GPU-FOR otherwise) decide from the same handful
+of column properties; this module computes them once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Properties of an integer column that drive scheme selection."""
+
+    count: int
+    min_value: int
+    max_value: int
+    distinct_count: int
+    is_sorted: bool
+    avg_run_length: float
+    #: Bits to represent the raw maximum (what plain bit-packing pays).
+    raw_bits: int
+    #: Bits to represent max - min (what FOR pays at whole-column scope).
+    for_bits: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "ColumnStats":
+        """Compute exact statistics for ``values`` (1-D integer array)."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("expected a 1-D integer array")
+        n = values.size
+        if n == 0:
+            return cls(0, 0, 0, 0, True, 0.0, 0, 0)
+        v = values.astype(np.int64)
+        lo = int(v.min())
+        hi = int(v.max())
+        changes = int(np.count_nonzero(v[1:] != v[:-1])) + 1
+        is_sorted = bool(np.all(v[1:] >= v[:-1]))
+        distinct = int(np.unique(v).size)
+        return cls(
+            count=n,
+            min_value=lo,
+            max_value=hi,
+            distinct_count=distinct,
+            is_sorted=is_sorted,
+            avg_run_length=n / changes,
+            raw_bits=max(hi, 0).bit_length(),
+            for_bits=(hi - lo).bit_length(),
+        )

@@ -1,0 +1,108 @@
+"""Auto-tuning the D hyperparameter (paper Section 8).
+
+``D`` — data blocks per thread block — is the schemes' only
+hyperparameter.  The paper picks D=4 on the V100 by measurement and
+predicts that future GPUs with more shared memory and registers will
+sustain larger D.  Because the trade-off is pure resource arithmetic
+(shared memory for staging + decoded tiles, registers for outputs, versus
+amortizing per-tile overhead), it can be *derived* from the occupancy
+model instead of swept: this module does exactly that, and the A100
+sensitivity experiment confirms the paper's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.occupancy import bandwidth_efficiency, compute_occupancy
+from repro.gpusim.spec import GPUSpec
+
+#: Candidate D values (powers of two, like the Figure 5 sweep).
+D_CANDIDATES = (1, 2, 4, 8, 16, 32)
+
+#: Resource model of the GPU-FOR-family decoder at a given D (matches
+#: GpuFor.kernel_resources).
+_BASE_REGISTERS = 12
+_REGISTERS_PER_D = 2
+_SMEM_PER_D = 128 * 4
+_SMEM_FIXED = 256
+_TILE_PROLOGUE_OPS = 5500.0
+_OPS_PER_ELEMENT = 7.0
+
+
+@dataclass(frozen=True)
+class DChoice:
+    """Outcome of the D auto-tuner."""
+
+    d_blocks: int
+    #: Modeled relative cost of each candidate (lower is better, best=1).
+    scores: dict[int, float]
+    #: Occupancy achieved by the chosen configuration.
+    occupancy: float
+
+
+def _relative_cost(
+    spec: GPUSpec, d: int, output_columns: int, bits_per_int: float
+) -> float:
+    """Modeled per-element decode cost at D (arbitrary linear units).
+
+    Combines (1) memory time for the compressed bytes, inflated by the
+    coalescing waste of small tiles and deflated by achieved bandwidth
+    efficiency, (2) per-tile prologue work amortized over D*128 elements,
+    and (3) register-spill traffic — the same terms the simulator prices.
+    """
+    registers = _BASE_REGISTERS + _REGISTERS_PER_D * d * max(1, output_columns)
+    smem = (_SMEM_PER_D * d + _SMEM_FIXED) * max(1, output_columns)
+    occ = compute_occupancy(spec, 128, registers, smem)
+    efficiency = bandwidth_efficiency(spec, occ.occupancy)
+
+    compressed_bytes = bits_per_int / 8.0
+    tile_bytes = d * 128 * compressed_bytes + 8.0  # + block_starts read
+    # Coalescing waste: a tile read is rounded up to whole transactions.
+    waste = (
+        -(-tile_bytes // spec.transaction_bytes) * spec.transaction_bytes / tile_bytes
+    )
+    mem = compressed_bytes * waste / efficiency
+    mem += occ.spilled_registers * 4 * 2 / d / 128  # spill bytes per element
+    mem_time = mem / spec.global_bandwidth_gbps
+
+    compute = _OPS_PER_ELEMENT + _TILE_PROLOGUE_OPS / (d * 128)
+    compute_time = compute / (spec.int_throughput_gops * efficiency)
+    return max(mem_time, compute_time)
+
+
+def choose_d(
+    spec: GPUSpec,
+    output_columns: int = 1,
+    bits_per_int: float = 16.0,
+    candidates: tuple[int, ...] = D_CANDIDATES,
+) -> DChoice:
+    """Pick the best D for a device and workload shape.
+
+    Args:
+        spec: target GPU.
+        output_columns: columns a query keeps live per thread (1 for pure
+            decompression; SSB queries hold 3-4, which is why the paper
+            settles on D=4 for query processing).
+        bits_per_int: expected compressed density.
+        candidates: D values to consider.
+
+    Returns:
+        The chosen D with the relative cost of every candidate.
+    """
+    if output_columns < 1:
+        raise ValueError(f"output_columns must be >= 1, got {output_columns}")
+    costs = {
+        d: _relative_cost(spec, d, output_columns, bits_per_int)
+        for d in candidates
+    }
+    best = min(costs, key=costs.__getitem__)
+    best_cost = costs[best]
+    registers = _BASE_REGISTERS + _REGISTERS_PER_D * best * max(1, output_columns)
+    smem = (_SMEM_PER_D * best + _SMEM_FIXED) * max(1, output_columns)
+    occ = compute_occupancy(spec, 128, registers, smem)
+    return DChoice(
+        d_blocks=best,
+        scores={d: c / best_cost for d, c in costs.items()},
+        occupancy=occ.occupancy,
+    )

@@ -1,0 +1,43 @@
+"""Crystal-style tile-based query engine and the 13 SSB queries."""
+
+from repro.engine.crystal import (
+    DECOMPRESS_FIRST_SYSTEMS,
+    TILE,
+    CrystalEngine,
+    FactPipeline,
+    QueryResult,
+    SSBQuery,
+)
+from repro.engine.coprocessor import (
+    CacheStats,
+    CoprocessorExecutor,
+    CoprocessorResult,
+    DeviceCache,
+)
+from repro.engine.lookup import MISS, Lookup, make_lookup
+from repro.engine.primitives import (
+    block_max_scan,
+    block_prefix_sum,
+    block_rle_expand,
+)
+from repro.engine.ssb_queries import QUERIES
+
+__all__ = [
+    "CacheStats",
+    "CoprocessorExecutor",
+    "CoprocessorResult",
+    "DECOMPRESS_FIRST_SYSTEMS",
+    "DeviceCache",
+    "block_max_scan",
+    "block_prefix_sum",
+    "block_rle_expand",
+    "CrystalEngine",
+    "FactPipeline",
+    "Lookup",
+    "MISS",
+    "QUERIES",
+    "QueryResult",
+    "SSBQuery",
+    "TILE",
+    "make_lookup",
+]

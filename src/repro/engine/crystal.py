@@ -1,0 +1,528 @@
+"""Crystal-style tile-based query engine with inline decompression.
+
+The engine executes each SSB query the way Crystal does (Section 7):
+dimension tables are turned into dense join lookups by small build
+kernels, then **one fused fact kernel** sweeps ``lineorder`` in tiles of
+512 rows (D=4 blocks of 128).  Under GPU-* compression the fact kernel's
+column loads are ``LoadBitPack``/``LoadDBitPack``/``LoadRBitPack`` device
+functions — the tile is decoded in shared memory inline with execution,
+so compressed columns cost their compressed bytes plus decode compute,
+never an extra global-memory round trip.
+
+Three execution styles cover the paper's six systems:
+
+* ``fused`` + inline decode — GPU-* (and ``None`` without decode);
+* ``fused`` after a decompress-to-global prologue — nvCOMP, Planner and
+  GPU-BP, which cannot pipeline decompression into the query (Section 9.4);
+* ``staged`` — the OmniSci model: one kernel per operator with row-wise
+  column access and a materialized selection bitmap between operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.nvcomp import decompress_nvcomp
+from repro.core.planner import decompress_planned
+from repro.core.tile_decompress import decompress
+from repro.formats.base import TileCodec
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.gpusim.memory import linear_bytes
+from repro.engine.lookup import MISS, Lookup, make_lookup
+from repro.ssb.dbgen import SSBDatabase
+from repro.ssb.loader import ColumnStore
+
+#: Rows one thread block processes (D=4 blocks of 128).
+TILE = 512
+#: Thread-block size used by every query kernel.
+BLOCK_THREADS = 128
+#: Values each thread keeps live per loaded column (the paper's D).
+D_PER_THREAD = TILE // BLOCK_THREADS
+
+#: Fraction of peak bandwidth the OmniSci-style engine achieves: its
+#: row-at-a-time JIT kernels neither tile nor coalesce column access the
+#: way Crystal does (both this paper and Shanbhag et al. 2020 report the
+#: resulting order-of-magnitude query gap).
+OMNISCI_EFFICIENCY = 0.24
+#: Extra per-row interpretation ops per OmniSci operator.
+OMNISCI_OP_OVERHEAD = 24
+
+#: Systems whose columns must be decompressed to global memory before the
+#: query kernel can read them.
+DECOMPRESS_FIRST_SYSTEMS = ("nvcomp", "planner", "gpu-bp")
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one SSB query on one system."""
+
+    name: str
+    system: str
+    simulated_ms: float
+    kernel_count: int
+    #: Aggregate output: {group_code: value} or a single scalar under "".
+    groups: dict[int, int]
+    #: Fixed launch overhead included in ``simulated_ms``.
+    launch_overhead_ms: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Sum of all aggregate values (handy for cross-system checks)."""
+        return int(sum(self.groups.values()))
+
+    def scaled_ms(self, scale: float) -> float:
+        """Project to a ``scale``x larger fact table (launch overhead is
+        size-independent, everything else is linear in the row count)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return (self.simulated_ms - self.launch_overhead_ms) * scale + self.launch_overhead_ms
+
+
+class CrystalEngine:
+    """Executes SSB queries over one system's column store."""
+
+    def __init__(
+        self,
+        db: SSBDatabase,
+        store: ColumnStore,
+        device: GPUDevice | None = None,
+    ):
+        self.db = db
+        self.store = store
+        self.device = device if device is not None else GPUDevice()
+        self.num_rows = db.num_lineorder_rows
+        self.num_tiles = -(-self.num_rows // TILE)
+        self._tile_bytes_cache: dict[str, np.ndarray] = {}
+        self._staged = store.system == "omnisci"
+        self._last_timeline: list[dict] = []
+
+    # -- column storage helpers --------------------------------------------
+
+    def column_inline(self, name: str) -> bool:
+        """Whether this column decodes inline in the fact kernel."""
+        return self.store.system == "gpu-star" and self.store[name].codec_name != ""
+
+    def tile_read_bytes(self, name: str) -> np.ndarray:
+        """Aligned global-memory bytes each engine tile reads for a column."""
+        cached = self._tile_bytes_cache.get(name)
+        if cached is not None:
+            return cached
+        col = self.store[name]
+        if self.column_inline(name):
+            codec = get_codec(col.codec_name)
+            assert isinstance(codec, TileCodec)
+            enc = col.payload
+            starts, lengths = codec.tile_segments(enc)
+            tx = self.device.spec.transaction_bytes
+            starts = starts.astype(np.int64)
+            lengths = lengths.astype(np.int64)
+            nz = lengths > 0
+            seg_bytes = np.zeros(starts.size, dtype=np.int64)
+            seg_bytes[nz] = (
+                (starts[nz] + lengths[nz] - 1) // tx - starts[nz] // tx + 1
+            ) * tx
+            codec_tiles = codec.num_tiles(enc)
+            per_codec_tile = seg_bytes.reshape(-1, codec_tiles).sum(axis=0)
+            per_engine = self._regroup_tiles(per_codec_tile, codec.tile_elements(enc))
+        else:
+            per_engine = np.full(
+                self.num_tiles, linear_bytes(TILE * 4, self.device.spec.transaction_bytes),
+                dtype=np.int64,
+            )
+            tail = self.num_rows - (self.num_tiles - 1) * TILE
+            per_engine[-1] = linear_bytes(tail * 4, self.device.spec.transaction_bytes)
+        self._tile_bytes_cache[name] = per_engine
+        return per_engine
+
+    def _regroup_tiles(self, per_codec_tile: np.ndarray, codec_tile_elems: int) -> np.ndarray:
+        """Aggregate codec-tile traffic to engine tiles of :data:`TILE` rows."""
+        if codec_tile_elems == TILE:
+            out = per_codec_tile
+        elif TILE % codec_tile_elems == 0:
+            factor = TILE // codec_tile_elems
+            padded = np.zeros(self.num_tiles * factor, dtype=np.int64)
+            padded[: per_codec_tile.size] = per_codec_tile
+            out = padded.reshape(self.num_tiles, factor).sum(axis=1)
+        elif codec_tile_elems % TILE == 0:
+            # Codec tiles span several engine tiles (e.g. GPU-SIMDBP128's
+            # 4096-value blocks): amortize each codec tile's traffic.
+            factor = codec_tile_elems // TILE
+            out = np.repeat(per_codec_tile, factor) // factor
+        else:
+            raise ValueError(
+                f"codec tile of {codec_tile_elems} rows does not divide the "
+                f"engine tile of {TILE}"
+            )
+        if out.size != self.num_tiles:
+            padded = np.zeros(self.num_tiles, dtype=np.int64)
+            padded[: out.size] = out[: self.num_tiles]
+            out = padded
+        return out
+
+    # -- dimension build kernels --------------------------------------------
+
+    def build_lookup(
+        self,
+        table_name: str,
+        key_col: str,
+        payload: np.ndarray | None = None,
+        mask: np.ndarray | None = None,
+        read_cols: int = 2,
+    ) -> Lookup:
+        """Build a dense join lookup from a dimension table (one kernel)."""
+        table = self.db.table(table_name)
+        keys = table[key_col]
+        lookup = make_lookup(f"{table_name}.{key_col}", keys, payload, mask)
+        with self.device.launch(
+            f"build-{table_name}",
+            grid_blocks=max(1, -(-keys.size // BLOCK_THREADS)),
+            block_threads=BLOCK_THREADS,
+            registers_per_thread=20,
+        ) as k:
+            k.read_linear(keys.size * 4 * read_cols)
+            k.write_scatter(keys.size, 4, lookup.nbytes)
+            k.compute(keys.size * 4)
+        return lookup
+
+    # -- fact pipeline --------------------------------------------------------
+
+    def pipeline(self, name: str) -> "FactPipeline":
+        """Open a fact-table pipeline for one query."""
+        return FactPipeline(self, name, staged=self._staged)
+
+    def decompress_first(self, columns: tuple[str, ...]) -> None:
+        """Decompress the needed fact columns to global memory (the
+        prologue nvCOMP / Planner / GPU-BP queries pay, Section 9.4)."""
+        system = self.store.system
+        if system not in DECOMPRESS_FIRST_SYSTEMS:
+            return
+        for name in columns:
+            col = self.store[name]
+            if system == "nvcomp":
+                decompress_nvcomp(col.payload, self.device)
+            elif system == "planner":
+                decompress_planned(col.payload, self.device)
+            else:  # gpu-bp
+                decompress(col.payload, self.device, write_back=True)
+
+    def explain(self, query: "SSBQuery") -> list[dict]:
+        """Run a query and return its per-kernel timeline (EXPLAIN ANALYZE).
+
+        Each row is one kernel launch with its resource signature,
+        occupancy, traffic, and simulated time — making visible exactly
+        why e.g. a decompress-first system pays more kernels than the
+        fused inline-decode plan.
+        """
+        self.run(query)
+        return self._last_timeline
+
+    def run(self, query: "SSBQuery") -> QueryResult:
+        """Execute one SSB query and report its simulated time."""
+        kernels_before = self.device.kernel_count
+        ms_before = self.device.elapsed_ms
+        self.decompress_first(query.columns)
+        groups = query.fn(self)
+        kernels = self.device.kernel_count - kernels_before
+        self._last_timeline = self.device.timeline()[kernels_before:]
+        return QueryResult(
+            name=query.name,
+            system=self.store.system,
+            simulated_ms=self.device.elapsed_ms - ms_before,
+            kernel_count=kernels,
+            groups=groups,
+            launch_overhead_ms=kernels * self.device.spec.kernel_launch_us / 1000.0,
+        )
+
+
+@dataclass
+class SSBQuery:
+    """One SSB query: the fact columns it touches and its plan."""
+
+    name: str
+    columns: tuple[str, ...]
+    fn: Callable[[CrystalEngine], dict[int, int]]
+
+
+class FactPipeline:
+    """One query's sweep over the fact table.
+
+    In ``fused`` mode (Crystal) every call accumulates traffic/compute
+    into a single kernel launch priced by :meth:`finish`.  In ``staged``
+    mode (OmniSci) every operator prices its own kernel immediately, with
+    a materialized selection bitmap read and written between operators.
+    """
+
+    def __init__(self, engine: CrystalEngine, name: str, staged: bool = False):
+        self.engine = engine
+        self.name = name
+        self.staged = staged
+        self.n = engine.num_rows
+        self.mask = np.ones(self.n, dtype=bool)
+        self.tile_active = np.ones(engine.num_tiles, dtype=np.int64).astype(bool)
+        self._finished = False
+        # Fused-kernel accumulators.
+        self._read_bytes = 0
+        self._write_bytes = 0
+        self._compute = 0
+        self._shared = 0
+        self._gathers: list[tuple[int, int, int]] = []
+        self._extra_regs = 0
+        self._decode_regs = 0
+        self._smem = 0
+        self._cols_loaded = 0
+
+    # -- operators -----------------------------------------------------------
+
+    def load(self, name: str) -> np.ndarray:
+        """Load a fact column (tile loads skip fully-filtered tiles)."""
+        self._check_open()
+        engine = self.engine
+        col = engine.store[name]
+        tile_bytes = engine.tile_read_bytes(name)
+        read = int(tile_bytes[self.tile_active].sum())
+        active_rows = int(self.tile_active.sum()) * TILE
+        self._cols_loaded += 1
+
+        if self.staged:
+            # OmniSci: its own kernel, full column, row-wise access.
+            self._staged_kernel(
+                f"load-{name}",
+                read_bytes=int(tile_bytes.sum()),
+                write_bytes=self.n * 4,
+                ops=self.n * OMNISCI_OP_OVERHEAD,
+            )
+            return col.values
+
+        self._read_bytes += read
+        if engine.column_inline(name):
+            codec = get_codec(col.codec_name)
+            assert isinstance(codec, TileCodec)
+            res = codec.kernel_resources(col.payload)
+            # Each thread holds one decoded value per block row it owns:
+            # D=4 for the 128-row-block formats, but 32 for the 4096-value
+            # vertical layout — the register pressure behind Section 4.3's
+            # 14x q1.1 slowdown.
+            self._extra_regs += max(
+                D_PER_THREAD, codec.tile_elements(col.payload) // BLOCK_THREADS
+            )
+            self._compute += int(
+                res.compute_ops_per_element * active_rows
+                + res.tile_prologue_ops * int(self.tile_active.sum())
+            )
+            self._shared += int(res.shared_bytes_per_element * active_rows)
+            # Columns decode one after another, so the compiler reuses the
+            # decoder's scratch registers and staging buffer across loads:
+            # only the widest decoder's state is live at once.  That state
+            # is tiny for the FOR family but huge for the vertical-layout
+            # ablation (Section 4.3's 14x q1.1 slowdown).
+            self._decode_regs = max(
+                self._decode_regs,
+                max(2, res.registers_per_thread - 12 - 2 * D_PER_THREAD),
+            )
+            # Staging buffers are not reused: each compressed column's
+            # tile stays resident in shared memory for the whole tile pass
+            # (predicates may touch several decoded columns at once).
+            self._smem += res.shared_mem_per_block
+        else:
+            self._extra_regs += D_PER_THREAD
+            self._compute += active_rows  # BlockLoad index arithmetic
+        return col.values
+
+    def filter(self, rowmask: np.ndarray) -> None:
+        """AND a row predicate into the pipeline's selection."""
+        self._check_open()
+        rowmask = np.asarray(rowmask, dtype=bool)
+        if rowmask.shape != (self.n,):
+            raise ValueError("filter mask must cover every fact row")
+        self.mask &= rowmask
+        padded = np.zeros(self.engine.num_tiles * TILE, dtype=bool)
+        padded[: self.n] = self.mask
+        self.tile_active &= padded.reshape(-1, TILE).any(axis=1)
+        if self.staged:
+            self._staged_kernel(
+                f"filter-{self.name}",
+                read_bytes=self.n,
+                write_bytes=self.n,
+                ops=self.n * 2,
+            )
+        else:
+            self._compute += self.live_count * 2
+
+    def probe(self, lookup: Lookup, keys: np.ndarray) -> np.ndarray:
+        """Probe a join lookup for every currently-live row."""
+        self._check_open()
+        count = self.live_count
+        if self.staged:
+            self._staged_kernel(
+                f"probe-{lookup.name}",
+                read_bytes=2 * self.n,
+                write_bytes=self.n * 4,
+                ops=self.n * (OMNISCI_OP_OVERHEAD + 3),
+                gathers=(count, 4, lookup.nbytes),
+            )
+        else:
+            self._gathers.append((count, 4, lookup.nbytes))
+            self._compute += count * 3
+        payload = np.full(self.n, MISS, dtype=np.int64)
+        if count:
+            payload[self.mask] = lookup.probe(np.asarray(keys)[self.mask])
+        return payload
+
+    def group_sum(
+        self, codes: np.ndarray, weights: np.ndarray, num_groups: int
+    ) -> dict[int, int]:
+        """Aggregate ``sum(weights) group by codes`` over live rows."""
+        self._check_open()
+        count = self.live_count
+        if self.staged:
+            self._staged_kernel(
+                f"aggregate-{self.name}",
+                read_bytes=self.n * 8 + self.n,
+                write_bytes=num_groups * 8,
+                ops=self.n * (OMNISCI_OP_OVERHEAD + 8),
+                scatters=(count, 8, num_groups * 8),
+            )
+        else:
+            self._compute += count * 8
+            self._gathers.append((min(count, num_groups * 4), 8, num_groups * 8))
+            self._write_bytes += num_groups * 8
+        codes = np.asarray(codes, dtype=np.int64)
+        if count == 0:
+            return {}
+        live_codes = codes[self.mask]
+        if live_codes.size and (live_codes.min() < 0 or live_codes.max() >= num_groups):
+            raise ValueError("group codes out of range")
+        sums = np.bincount(
+            live_codes, weights=np.asarray(weights, dtype=np.float64)[self.mask],
+            minlength=num_groups,
+        )
+        return {int(c): int(sums[c]) for c in np.flatnonzero(sums)}
+
+    def total_sum(self, values: np.ndarray) -> dict[int, int]:
+        """Ungrouped ``sum(values)`` over live rows (query flight 1)."""
+        result = self.group_sum(np.zeros(self.n, dtype=np.int64), values, 1)
+        return result if result else {0: 0}
+
+    def group_aggregate(
+        self,
+        codes: np.ndarray,
+        values: np.ndarray | None,
+        num_groups: int,
+        how: str = "sum",
+    ) -> dict[int, int]:
+        """General grouped aggregate over live rows.
+
+        Supported ``how``: ``sum``, ``count``, ``min``, ``max``, ``avg``
+        (integer-floor average).  Traffic/compute accounting matches
+        :meth:`group_sum` — on the GPU these are all the same
+        atomic-update pattern over a small result array.
+        """
+        self._check_open()
+        if how == "sum":
+            if values is None:
+                raise ValueError("sum needs a values column")
+            return self.group_sum(codes, values, num_groups)
+        if how == "count":
+            return self.group_sum(codes, np.ones(self.n, dtype=np.int64), num_groups)
+        if how == "avg":
+            if values is None:
+                raise ValueError("avg needs a values column")
+            sums = self.group_sum(codes, values, num_groups)
+            counts = self.group_sum(codes, np.ones(self.n, dtype=np.int64), num_groups)
+            return {c: sums.get(c, 0) // counts[c] for c in counts}
+        if how not in ("min", "max"):
+            raise ValueError(f"unknown aggregate {how!r}")
+        if values is None:
+            raise ValueError(f"{how} needs a values column")
+
+        count = self.live_count
+        if self.staged:
+            self._staged_kernel(
+                f"aggregate-{how}-{self.name}",
+                read_bytes=self.n * 8 + self.n,
+                write_bytes=num_groups * 8,
+                ops=self.n * (OMNISCI_OP_OVERHEAD + 8),
+                scatters=(count, 8, num_groups * 8),
+            )
+        else:
+            self._compute += count * 8
+            self._gathers.append((min(count, num_groups * 4), 8, num_groups * 8))
+            self._write_bytes += num_groups * 8
+        if count == 0:
+            return {}
+        codes = np.asarray(codes, dtype=np.int64)[self.mask]
+        if codes.size and (codes.min() < 0 or codes.max() >= num_groups):
+            raise ValueError("group codes out of range")
+        vals = np.asarray(values, dtype=np.int64)[self.mask]
+        sentinel = np.iinfo(np.int64).max if how == "min" else np.iinfo(np.int64).min
+        out = np.full(num_groups, sentinel, dtype=np.int64)
+        op = np.minimum if how == "min" else np.maximum
+        op.at(out, codes, vals)
+        touched = np.zeros(num_groups, dtype=bool)
+        touched[codes] = True
+        return {int(c): int(out[c]) for c in np.flatnonzero(touched)}
+
+    # -- pricing ---------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Price the fused fact kernel (no-op for the staged engine)."""
+        self._check_open()
+        self._finished = True
+        if self.staged:
+            return
+        regs = 14 + self._extra_regs + self._decode_regs
+        with self.engine.device.launch(
+            f"fact-{self.name}",
+            grid_blocks=max(1, self.engine.num_tiles),
+            block_threads=BLOCK_THREADS,
+            registers_per_thread=regs,
+            shared_mem_per_block=self._smem,
+        ) as k:
+            if self._read_bytes:
+                k.traffic.read_bytes += self._read_bytes  # already aligned
+            if self._write_bytes:
+                k.write_linear(self._write_bytes)
+            for count, eb, region in self._gathers:
+                k.read_gather(count, eb, region)
+            k.compute(self._compute + self.engine.num_tiles * 600)
+            k.shared(self._shared + self.live_count * 4)
+
+    @property
+    def live_count(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _staged_kernel(
+        self,
+        name: str,
+        read_bytes: int,
+        write_bytes: int,
+        ops: int,
+        gathers: tuple[int, int, int] | None = None,
+        scatters: tuple[int, int, int] | None = None,
+    ) -> None:
+        """One OmniSci operator kernel at OmniSci's achieved efficiency."""
+        inflate = 1.0 / OMNISCI_EFFICIENCY
+        with self.engine.device.launch(
+            f"omnisci-{name}",
+            grid_blocks=max(1, -(-self.n // 256)),
+            block_threads=256,
+            registers_per_thread=40,
+        ) as k:
+            k.read_linear(int(read_bytes * inflate))
+            if write_bytes:
+                k.write_linear(int(write_bytes * inflate))
+            if gathers is not None:
+                k.read_gather(*gathers)
+            if scatters is not None:
+                k.write_scatter(*scatters)
+            k.compute(ops)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise RuntimeError("pipeline already finished")

@@ -1,0 +1,150 @@
+"""Crystal-style block-wide primitives.
+
+Crystal (Shanbhag et al. 2020) is a library of *block-wide device
+functions* — load, scan, reduce, predicate — that compose into query
+kernels; the paper reuses its block-wide prefix sum for GPU-DFOR's delta
+decode (Section 5.2) and its RLE expansion (Section 6).  This module
+implements those primitives as array algorithms with the same structure
+the CUDA versions have, so the decoders can route through them and their
+step/work counts can be asserted:
+
+* :func:`block_prefix_sum` is the work-efficient Blelloch scan [13]:
+  an upsweep (reduce) phase and a downsweep phase, 2 log2(n) steps and
+  O(n) adds, operating in place on a power-of-two-sized buffer exactly
+  like the shared-memory version.
+* :func:`block_rle_expand` is Fang et al.'s four-step RLE decode
+  (scan lengths, scatter boundary flags, max-scan the flags, gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ScanStats:
+    """Work/step counts of one block-wide scan (for model validation)."""
+
+    steps: int
+    adds: int
+
+
+def _ceil_pow2(n: int) -> int:
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def block_prefix_sum(values: np.ndarray, inclusive: bool = True) -> tuple[np.ndarray, ScanStats]:
+    """Work-efficient (Blelloch) block-wide prefix sum.
+
+    Mirrors the shared-memory algorithm: the input is padded to a power
+    of two, an upsweep builds partial sums in place, the root is zeroed,
+    and a downsweep distributes prefixes — Theta(log n) steps, Theta(n)
+    additions.
+
+    Args:
+        values: the tile to scan (any length; padded internally).
+        inclusive: inclusive scan (delta decoding) vs exclusive
+            (offset computation).
+
+    Returns:
+        ``(scanned, stats)`` where ``scanned`` has the input's length.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.size
+    if n == 0:
+        return values.copy(), ScanStats(steps=0, adds=0)
+    size = _ceil_pow2(n)
+    buf = np.zeros(size, dtype=np.int64)
+    buf[:n] = values
+
+    steps = 0
+    adds = 0
+    # Upsweep: build the reduction tree in place.
+    stride = 1
+    while stride < size:
+        left = np.arange(stride - 1, size, 2 * stride)
+        right = left + stride
+        buf[right] += buf[left]
+        adds += left.size
+        steps += 1
+        stride *= 2
+
+    total = int(buf[-1])
+    buf[-1] = 0
+    # Downsweep: rotate partial sums down the tree.
+    stride = size // 2
+    while stride >= 1:
+        left = np.arange(stride - 1, size, 2 * stride)
+        right = left + stride
+        tmp = buf[left].copy()
+        buf[left] = buf[right]
+        buf[right] += tmp
+        adds += left.size
+        steps += 1
+        stride //= 2
+
+    exclusive = buf[:n]
+    if inclusive:
+        return exclusive + values, ScanStats(steps=steps, adds=adds)
+    return exclusive.copy(), ScanStats(steps=steps, adds=adds)
+
+
+def block_max_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive block-wide maximum scan (Hillis-Steele structure).
+
+    Used by RLE expansion to propagate run ids across the tile; the
+    naive-but-step-efficient variant is what Crystal ships for max.
+    """
+    out = np.asarray(values, dtype=np.int64).copy()
+    n = out.size
+    stride = 1
+    while stride < n:
+        shifted = np.empty_like(out)
+        shifted[:stride] = out[:stride]
+        shifted[stride:] = np.maximum(out[stride:], out[:-stride])
+        out = shifted
+        stride *= 2
+    return out
+
+
+def block_rle_expand(
+    run_values: np.ndarray, run_lengths: np.ndarray, tile_size: int | None = None
+) -> np.ndarray:
+    """Expand (value, length) runs inside one tile — Fang et al.'s 4 steps.
+
+    1. exclusive-scan the lengths -> each run's start offset;
+    2. scatter each run's index at its start offset (boundary flags);
+    3. inclusive max-scan the flags -> every position's run index;
+    4. gather the values through the run indices.
+
+    Args:
+        run_values: the runs' values.
+        run_lengths: the runs' lengths (positive).
+        tile_size: expected output size; defaults to ``sum(lengths)``.
+
+    Returns:
+        The expanded tile.
+    """
+    run_values = np.asarray(run_values, dtype=np.int64)
+    run_lengths = np.asarray(run_lengths, dtype=np.int64)
+    if run_values.shape != run_lengths.shape:
+        raise ValueError("runs and lengths must align")
+    if run_lengths.size and run_lengths.min() <= 0:
+        raise ValueError("run lengths must be positive")
+    total = int(run_lengths.sum())
+    if tile_size is None:
+        tile_size = total
+    if total != tile_size:
+        raise ValueError(f"runs cover {total} values, expected {tile_size}")
+    if tile_size == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    offsets, _ = block_prefix_sum(run_lengths, inclusive=False)  # step 1
+    flags = np.zeros(tile_size, dtype=np.int64)
+    flags[offsets] = np.arange(run_values.size)  # step 2 (scatter)
+    run_of_position = block_max_scan(flags)  # step 3
+    return run_values[run_of_position]  # step 4 (gather)

@@ -1,0 +1,362 @@
+"""The 13 Star Schema Benchmark queries as Crystal-style plans.
+
+Each query is expressed against the :class:`~repro.engine.crystal.FactPipeline`
+API: build filtered dimension lookups, sweep the fact table once, probe,
+filter, aggregate.  String literals from the SSB spec are pre-resolved to
+the dictionary codes :mod:`repro.ssb.dbgen` generates (e.g. region
+``'AMERICA'`` is code 1, brand ``'MFGR#2221'`` is code 260).
+
+Because selections and joins fold into the single fused fact kernel, the
+only difference between running a query on uncompressed data and on GPU-*
+data is which load device function the kernel uses — the paper's
+one-line-change claim (Section 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.crystal import MISS, CrystalEngine, SSBQuery
+
+# -- dictionary codes for the SSB literals used by the queries -------------
+
+#: Regions (see repro.ssb.schema.REGIONS).
+AFRICA, AMERICA, ASIA, EUROPE, MIDDLE_EAST = range(5)
+#: 'UNITED STATES': a nation inside AMERICA (codes 5..9).
+NATION_US = 7
+#: 'UNITED KI1' and 'UNITED KI5': two cities of nation 7 (codes 70..79).
+CITY_UK1 = 71
+CITY_UK5 = 75
+#: 'MFGR#12': manufacturer 1, category 2 -> category code 0*5 + 1.
+CATEGORY_MFGR12 = 1
+#: 'MFGR#14': manufacturer 1, category 4.
+CATEGORY_MFGR14 = 3
+#: 'MFGR#2221'..'MFGR#2228': brands 20..27 of category code 6.
+BRAND_2221 = 6 * 40 + 20
+BRAND_2228 = 6 * 40 + 27
+#: 'MFGR#2239'.
+BRAND_2239 = 6 * 40 + 38
+
+#: Group-code strides.
+_YEARS = 7
+_NATIONS = 25
+_CITIES = 250
+_BRANDS = 1000
+_CATEGORIES = 25
+
+
+def _year_code(years: np.ndarray) -> np.ndarray:
+    return years - 1992
+
+
+# -- query flight 1: filtered scans ----------------------------------------
+
+
+def _flight1(engine: CrystalEngine, name: str, date_mask: np.ndarray,
+             disc_lo: int, disc_hi: int, qty_lo: int, qty_hi: int) -> dict[int, int]:
+    date_lu = engine.build_lookup("date", "d_datekey", mask=date_mask)
+    p = engine.pipeline(name)
+    orderdate = p.load("lo_orderdate")
+    p.filter(p.probe(date_lu, orderdate) != MISS)
+    discount = p.load("lo_discount")
+    p.filter((discount >= disc_lo) & (discount <= disc_hi))
+    quantity = p.load("lo_quantity")
+    p.filter((quantity >= qty_lo) & (quantity <= qty_hi))
+    extendedprice = p.load("lo_extendedprice")
+    result = p.total_sum(extendedprice * discount)
+    p.finish()
+    return result
+
+
+def q1_1(engine: CrystalEngine) -> dict[int, int]:
+    """select sum(lo_extendedprice*lo_discount) as revenue
+    where d_year = 1993 and lo_discount between 1 and 3 and lo_quantity < 25"""
+    return _flight1(engine, "q1.1", engine.db.date["d_year"] == 1993, 1, 3, 0, 24)
+
+
+def q1_2(engine: CrystalEngine) -> dict[int, int]:
+    """... where d_yearmonthnum = 199401 and lo_discount between 4 and 6
+    and lo_quantity between 26 and 35"""
+    return _flight1(
+        engine, "q1.2", engine.db.date["d_yearmonthnum"] == 199401, 4, 6, 26, 35
+    )
+
+
+def q1_3(engine: CrystalEngine) -> dict[int, int]:
+    """... where d_weeknuminyear = 6 and d_year = 1994
+    and lo_discount between 5 and 7 and lo_quantity between 36 and 40"""
+    d = engine.db.date
+    mask = (d["d_weeknuminyear"] == 6) & (d["d_year"] == 1994)
+    return _flight1(engine, "q1.3", mask, 5, 7, 36, 40)
+
+
+# -- query flight 2: part x supplier x date --------------------------------
+
+
+def _flight2(engine: CrystalEngine, name: str, part_mask: np.ndarray,
+             supp_region: int) -> dict[int, int]:
+    db = engine.db
+    part_lu = engine.build_lookup(
+        "part", "p_partkey", payload=db.part["p_brand1"], mask=part_mask
+    )
+    supp_lu = engine.build_lookup(
+        "supplier", "s_suppkey", mask=db.supplier["s_region"] == supp_region
+    )
+    date_lu = engine.build_lookup(
+        "date", "d_datekey", payload=_year_code(db.date["d_year"])
+    )
+    p = engine.pipeline(name)
+    suppkey = p.load("lo_suppkey")
+    p.filter(p.probe(supp_lu, suppkey) != MISS)
+    partkey = p.load("lo_partkey")
+    brand = p.probe(part_lu, partkey)
+    p.filter(brand != MISS)
+    orderdate = p.load("lo_orderdate")
+    year = p.probe(date_lu, orderdate)
+    revenue = p.load("lo_revenue")
+    codes = np.where(year >= 0, year, 0) * _BRANDS + np.where(brand >= 0, brand, 0)
+    result = p.group_sum(codes, revenue, _YEARS * _BRANDS)
+    p.finish()
+    return result
+
+
+def q2_1(engine: CrystalEngine) -> dict[int, int]:
+    """sum(lo_revenue) group by d_year, p_brand1
+    where p_category = 'MFGR#12' and s_region = 'AMERICA'"""
+    part_mask = engine.db.part["p_category"] == CATEGORY_MFGR12
+    return _flight2(engine, "q2.1", part_mask, AMERICA)
+
+
+def q2_2(engine: CrystalEngine) -> dict[int, int]:
+    """... where p_brand1 between 'MFGR#2221' and 'MFGR#2228' and
+    s_region = 'ASIA'"""
+    brand = engine.db.part["p_brand1"]
+    return _flight2(
+        engine, "q2.2", (brand >= BRAND_2221) & (brand <= BRAND_2228), ASIA
+    )
+
+
+def q2_3(engine: CrystalEngine) -> dict[int, int]:
+    """... where p_brand1 = 'MFGR#2239' and s_region = 'EUROPE'"""
+    return _flight2(engine, "q2.3", engine.db.part["p_brand1"] == BRAND_2239, EUROPE)
+
+
+# -- query flight 3: customer x supplier x date -----------------------------
+
+
+def _flight3(engine: CrystalEngine, name: str,
+             cust_payload: np.ndarray, cust_mask: np.ndarray,
+             supp_payload: np.ndarray, supp_mask: np.ndarray,
+             date_mask: np.ndarray, stride: int) -> dict[int, int]:
+    db = engine.db
+    cust_lu = engine.build_lookup(
+        "customer", "c_custkey", payload=cust_payload, mask=cust_mask
+    )
+    supp_lu = engine.build_lookup(
+        "supplier", "s_suppkey", payload=supp_payload, mask=supp_mask
+    )
+    date_lu = engine.build_lookup(
+        "date", "d_datekey", payload=_year_code(db.date["d_year"]), mask=date_mask
+    )
+    p = engine.pipeline(name)
+    custkey = p.load("lo_custkey")
+    cgroup = p.probe(cust_lu, custkey)
+    p.filter(cgroup != MISS)
+    suppkey = p.load("lo_suppkey")
+    sgroup = p.probe(supp_lu, suppkey)
+    p.filter(sgroup != MISS)
+    orderdate = p.load("lo_orderdate")
+    year = p.probe(date_lu, orderdate)
+    p.filter(year != MISS)
+    revenue = p.load("lo_revenue")
+    codes = (
+        np.where(cgroup >= 0, cgroup, 0) * stride + np.where(sgroup >= 0, sgroup, 0)
+    ) * _YEARS + np.where(year >= 0, year, 0)
+    result = p.group_sum(codes, revenue, stride * stride * _YEARS)
+    p.finish()
+    return result
+
+
+def q3_1(engine: CrystalEngine) -> dict[int, int]:
+    """sum(lo_revenue) group by c_nation, s_nation, d_year
+    where c_region = 'ASIA' and s_region = 'ASIA' and d_year in 1992..1997"""
+    db = engine.db
+    return _flight3(
+        engine, "q3.1",
+        db.customer["c_nation"], db.customer["c_region"] == ASIA,
+        db.supplier["s_nation"], db.supplier["s_region"] == ASIA,
+        (db.date["d_year"] >= 1992) & (db.date["d_year"] <= 1997),
+        _NATIONS,
+    )
+
+
+def q3_2(engine: CrystalEngine) -> dict[int, int]:
+    """group by c_city, s_city, d_year where both nations are
+    'UNITED STATES' and d_year in 1992..1997"""
+    db = engine.db
+    return _flight3(
+        engine, "q3.2",
+        db.customer["c_city"], db.customer["c_nation"] == NATION_US,
+        db.supplier["s_city"], db.supplier["s_nation"] == NATION_US,
+        (db.date["d_year"] >= 1992) & (db.date["d_year"] <= 1997),
+        _CITIES,
+    )
+
+
+def q3_3(engine: CrystalEngine) -> dict[int, int]:
+    """... where both cities are in ('UNITED KI1', 'UNITED KI5')
+    and d_year in 1992..1997"""
+    db = engine.db
+    city_ok_c = np.isin(db.customer["c_city"], (CITY_UK1, CITY_UK5))
+    city_ok_s = np.isin(db.supplier["s_city"], (CITY_UK1, CITY_UK5))
+    return _flight3(
+        engine, "q3.3",
+        db.customer["c_city"], city_ok_c,
+        db.supplier["s_city"], city_ok_s,
+        (db.date["d_year"] >= 1992) & (db.date["d_year"] <= 1997),
+        _CITIES,
+    )
+
+
+def q3_4(engine: CrystalEngine) -> dict[int, int]:
+    """... where both cities are in ('UNITED KI1', 'UNITED KI5')
+    and d_yearmonth = 'Dec1997'"""
+    db = engine.db
+    city_ok_c = np.isin(db.customer["c_city"], (CITY_UK1, CITY_UK5))
+    city_ok_s = np.isin(db.supplier["s_city"], (CITY_UK1, CITY_UK5))
+    return _flight3(
+        engine, "q3.4",
+        db.customer["c_city"], city_ok_c,
+        db.supplier["s_city"], city_ok_s,
+        db.date["d_yearmonthnum"] == 199712,
+        _CITIES,
+    )
+
+
+# -- query flight 4: all four dimensions, profit ----------------------------
+
+
+def _load_profit(p, date_lu, cust_lu, supp_lu, part_lu):
+    """The shared probe prologue of flight 4: returns the four payloads."""
+    custkey = p.load("lo_custkey")
+    cpay = p.probe(cust_lu, custkey)
+    p.filter(cpay != MISS)
+    suppkey = p.load("lo_suppkey")
+    spay = p.probe(supp_lu, suppkey)
+    p.filter(spay != MISS)
+    partkey = p.load("lo_partkey")
+    ppay = p.probe(part_lu, partkey)
+    p.filter(ppay != MISS)
+    orderdate = p.load("lo_orderdate")
+    year = p.probe(date_lu, orderdate)
+    p.filter(year != MISS)
+    revenue = p.load("lo_revenue")
+    supplycost = p.load("lo_supplycost")
+    return cpay, spay, ppay, year, revenue - supplycost
+
+
+def q4_1(engine: CrystalEngine) -> dict[int, int]:
+    """sum(lo_revenue - lo_supplycost) group by d_year, c_nation
+    where c_region = s_region = 'AMERICA' and p_mfgr in ('MFGR#1','MFGR#2')"""
+    db = engine.db
+    cust_lu = engine.build_lookup(
+        "customer", "c_custkey", payload=db.customer["c_nation"],
+        mask=db.customer["c_region"] == AMERICA,
+    )
+    supp_lu = engine.build_lookup(
+        "supplier", "s_suppkey", mask=db.supplier["s_region"] == AMERICA
+    )
+    part_lu = engine.build_lookup(
+        "part", "p_partkey", mask=np.isin(db.part["p_mfgr"], (0, 1))
+    )
+    date_lu = engine.build_lookup(
+        "date", "d_datekey", payload=_year_code(db.date["d_year"])
+    )
+    p = engine.pipeline("q4.1")
+    cnation, _, _, year, profit = _load_profit(p, date_lu, cust_lu, supp_lu, part_lu)
+    codes = np.where(year >= 0, year, 0) * _NATIONS + np.where(cnation >= 0, cnation, 0)
+    result = p.group_sum(codes, profit, _YEARS * _NATIONS)
+    p.finish()
+    return result
+
+
+def q4_2(engine: CrystalEngine) -> dict[int, int]:
+    """group by d_year, s_nation, p_category where both regions are
+    'AMERICA', d_year in (1997, 1998), p_mfgr in ('MFGR#1','MFGR#2')"""
+    db = engine.db
+    cust_lu = engine.build_lookup(
+        "customer", "c_custkey", mask=db.customer["c_region"] == AMERICA
+    )
+    supp_lu = engine.build_lookup(
+        "supplier", "s_suppkey", payload=db.supplier["s_nation"],
+        mask=db.supplier["s_region"] == AMERICA,
+    )
+    part_lu = engine.build_lookup(
+        "part", "p_partkey", payload=db.part["p_category"],
+        mask=np.isin(db.part["p_mfgr"], (0, 1)),
+    )
+    date_lu = engine.build_lookup(
+        "date", "d_datekey", payload=_year_code(db.date["d_year"]),
+        mask=np.isin(db.date["d_year"], (1997, 1998)),
+    )
+    p = engine.pipeline("q4.2")
+    _, snation, category, year, profit = _load_profit(
+        p, date_lu, cust_lu, supp_lu, part_lu
+    )
+    codes = (
+        np.where(year >= 0, year, 0) * _NATIONS + np.where(snation >= 0, snation, 0)
+    ) * _CATEGORIES + np.where(category >= 0, category, 0)
+    result = p.group_sum(codes, profit, _YEARS * _NATIONS * _CATEGORIES)
+    p.finish()
+    return result
+
+
+def q4_3(engine: CrystalEngine) -> dict[int, int]:
+    """group by d_year, s_city, p_brand1 where c_region = 'AMERICA',
+    s_nation = 'UNITED STATES', d_year in (1997, 1998),
+    p_category = 'MFGR#14'"""
+    db = engine.db
+    cust_lu = engine.build_lookup(
+        "customer", "c_custkey", mask=db.customer["c_region"] == AMERICA
+    )
+    supp_lu = engine.build_lookup(
+        "supplier", "s_suppkey", payload=db.supplier["s_city"],
+        mask=db.supplier["s_nation"] == NATION_US,
+    )
+    part_lu = engine.build_lookup(
+        "part", "p_partkey", payload=db.part["p_brand1"],
+        mask=db.part["p_category"] == CATEGORY_MFGR14,
+    )
+    date_lu = engine.build_lookup(
+        "date", "d_datekey", payload=_year_code(db.date["d_year"]),
+        mask=np.isin(db.date["d_year"], (1997, 1998)),
+    )
+    p = engine.pipeline("q4.3")
+    _, scity, brand, year, profit = _load_profit(p, date_lu, cust_lu, supp_lu, part_lu)
+    codes = (
+        np.where(year >= 0, year, 0) * _CITIES + np.where(scity >= 0, scity, 0)
+    ) * _BRANDS + np.where(brand >= 0, brand, 0)
+    result = p.group_sum(codes, profit, _YEARS * _CITIES * _BRANDS)
+    p.finish()
+    return result
+
+
+#: All 13 queries with the fact columns each touches.
+QUERIES: dict[str, SSBQuery] = {
+    q.name: q
+    for q in (
+        SSBQuery("q1.1", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_1),
+        SSBQuery("q1.2", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_2),
+        SSBQuery("q1.3", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_3),
+        SSBQuery("q2.1", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_1),
+        SSBQuery("q2.2", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_2),
+        SSBQuery("q2.3", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_3),
+        SSBQuery("q3.1", ("lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"), q3_1),
+        SSBQuery("q3.2", ("lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"), q3_2),
+        SSBQuery("q3.3", ("lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"), q3_3),
+        SSBQuery("q3.4", ("lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"), q3_4),
+        SSBQuery("q4.1", ("lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"), q4_1),
+        SSBQuery("q4.2", ("lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"), q4_2),
+        SSBQuery("q4.3", ("lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"), q4_3),
+    )
+}

@@ -1,0 +1,97 @@
+"""Ablation — Section 4.3: miniblocks vs a single bitwidth per block.
+
+A block could use one bitwidth for all 128 values instead of four
+per-miniblock bitwidths.  Space is a wash (both store the bitwidth(s) in
+one word); decoding the single-bitwidth variant skips the miniblock
+offset computation, which the paper measured as a marginal win
+(2.1 ms -> 2.0 ms).  The trade-off is compression: one large value now
+inflates 128 values' width instead of 32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tile_decompress import decompress
+from repro.experiments.common import DEFAULT_N, PAPER_N_LADDER, print_experiment
+from repro.formats.gpufor import BLOCK, GpuFor, pack_blocks
+from repro.gpusim.executor import GPUDevice
+from repro.workloads.synthetic import uniform_bitwidth
+
+#: Per-element decode ops saved by skipping the miniblock offsets.
+_SINGLE_BW_OPS = 5.5
+
+
+def single_bitwidth_bits_per_int(values: np.ndarray) -> float:
+    """Footprint if each 128-value block used one bitwidth (its max)."""
+    values = np.asarray(values, dtype=np.int64)
+    pad = (-values.size) % BLOCK
+    if pad and values.size:
+        values = np.concatenate([values, np.full(pad, values[-1], np.int64)])
+    _, _, bits = pack_blocks(values)
+    if bits.size == 0:
+        return 0.0
+    block_words = 2 + 4 * bits.max(axis=1)  # reference + bw word + payload
+    total_bits = (int(block_words.sum()) + bits.shape[0]) * 32  # + block starts
+    return total_bits / values.size
+
+
+def run(n: int = DEFAULT_N, seed: int = 0, skewed: bool = False) -> list[dict]:
+    """Compare the two layouts on uniform (and optionally skewed) data."""
+    scale = PAPER_N_LADDER / n
+    data = uniform_bitwidth(16, n, seed)
+    if skewed:
+        # One large value per block, the case miniblocks exist for.
+        data = data.copy()
+        data[:: BLOCK * 2] = 2**28
+
+    codec = GpuFor()
+    enc = codec.encode(data)
+    device = GPUDevice()
+    four_ms = decompress(enc, device, write_back=False).scaled_ms(scale)
+
+    # The single-bitwidth decode runs the same kernel minus the offset
+    # loop: rebuild the launch with the reduced per-element ops.
+    res = codec.kernel_resources(enc)
+    n_tiles = codec.num_tiles(enc)
+    device = GPUDevice()
+    with device.launch(
+        "decode-single-bw",
+        grid_blocks=n_tiles,
+        block_threads=128,
+        registers_per_thread=res.registers_per_thread,
+        shared_mem_per_block=res.shared_mem_per_block,
+    ) as k:
+        k.read_segments(*codec.tile_segments(enc))
+        k.compute(int(_SINGLE_BW_OPS * enc.count + res.tile_prologue_ops * n_tiles))
+        k.shared(int(res.shared_bytes_per_element * enc.count))
+    overhead = device.spec.kernel_launch_us / 1000.0
+    single_ms = (device.elapsed_ms - overhead) * scale + overhead
+
+    return [
+        {
+            "layout": "4 miniblocks (GPU-FOR)",
+            "bits_per_int": enc.bits_per_int,
+            "decode_ms": four_ms,
+        },
+        {
+            "layout": "single bitwidth per block",
+            "bits_per_int": single_bitwidth_bits_per_int(data),
+            "decode_ms": single_ms,
+        },
+    ]
+
+
+def main() -> None:
+    print_experiment(
+        "Ablation: miniblocks vs single bitwidth (paper: 2.1 -> 2.0 ms, equal size)",
+        run(),
+    )
+    print_experiment(
+        "Same ablation with one skewed value per 256 (miniblocks should win on size)",
+        run(skewed=True),
+    )
+
+
+if __name__ == "__main__":
+    main()

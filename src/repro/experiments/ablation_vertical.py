@@ -1,0 +1,98 @@
+"""E3 — Section 4.3: horizontal (GPU-FOR) vs vertical (GPU-SIMDBP128).
+
+Two paper measurements:
+
+* decode microbenchmark on 500M uniform 16-bit values: GPU-FOR with D=16
+  takes 1.55 ms, GPU-SIMDBP128 4.3 ms — 2.7x slower, because decoding the
+  vertical layout needs 32 packed words + 32 outputs live per thread,
+  which spills registers and collapses occupancy;
+* SSB q1.1 with the four columns encoded GPU-SIMDBP128 runs **14x**
+  slower than with GPU-FOR.
+"""
+
+from __future__ import annotations
+
+from repro.core.tile_decompress import decompress
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.experiments.common import DEFAULT_N, DEFAULT_SF, PAPER_N_LADDER, PAPER_SF, print_experiment
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.ssb.dbgen import generate
+from repro.ssb.loader import ColumnStore, StoredColumn
+from repro.workloads.synthetic import uniform_bitwidth
+
+
+def run_decode(n: int = DEFAULT_N, seed: int = 0) -> list[dict]:
+    """Decode microbenchmark (paper: 1.55 ms vs 4.3 ms, 2.7x)."""
+    data = uniform_bitwidth(16, n, seed)
+    scale = PAPER_N_LADDER / n
+    rows = []
+    for label, codec in (
+        ("GPU-FOR (D=16)", get_codec("gpu-for", d_blocks=16)),
+        ("GPU-SIMDBP128", get_codec("gpu-simdbp128")),
+    ):
+        enc = codec.encode(data)
+        device = GPUDevice()
+        report = decompress(enc, device, write_back=False)
+        launch = device.launches[-1]
+        rows.append(
+            {
+                "scheme": label,
+                "simulated_ms": report.scaled_ms(scale),
+                "occupancy": launch.occupancy.occupancy,
+                "spilled_regs": launch.occupancy.spilled_registers,
+            }
+        )
+    rows.append(
+        {
+            "scheme": "vertical/horizontal ratio",
+            "simulated_ms": rows[1]["simulated_ms"] / rows[0]["simulated_ms"],
+            "occupancy": float("nan"),
+            "spilled_regs": 0,
+        }
+    )
+    return rows
+
+
+def run_query(sf: float = DEFAULT_SF) -> list[dict]:
+    """SSB q1.1 with vertical vs horizontal encodings (paper: 14x)."""
+    db = generate(scale_factor=sf)
+    scale = PAPER_SF / sf
+    query = QUERIES["q1.1"]
+    times = {}
+    for label, codec_name in (("GPU-FOR", "gpu-for"), ("GPU-SIMDBP128", "gpu-simdbp128")):
+        codec = get_codec(codec_name)
+        columns = {}
+        for col in query.columns:
+            values = db.lineorder[col]
+            enc = codec.encode(values)
+            columns[col] = StoredColumn(
+                col, "gpu-star", values, enc, enc.nbytes, codec_name=codec_name
+            )
+        # Unused columns stay raw; q1.1 never loads them.
+        for col, values in db.lineorder.items():
+            columns.setdefault(
+                col, StoredColumn(col, "gpu-star", values, None, values.size * 4)
+            )
+        store = ColumnStore(system="gpu-star", columns=columns)
+        engine = CrystalEngine(db, store, GPUDevice())
+        times[label] = engine.run(query).scaled_ms(scale)
+    return [
+        {"encoding": label, "q1.1_ms": ms} for label, ms in times.items()
+    ] + [
+        {"encoding": "slowdown", "q1.1_ms": times["GPU-SIMDBP128"] / times["GPU-FOR"]}
+    ]
+
+
+def main() -> None:
+    print_experiment(
+        "E3a: Section 4.3 — decode, vertical vs horizontal (paper 2.7x)", run_decode()
+    )
+    print_experiment(
+        "E3b: Section 4.3 — SSB q1.1, vertical vs horizontal (paper 14x)", run_query()
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Shared experiment-harness utilities.
+
+Every experiment module exposes ``run(...) -> list[dict]`` returning the
+rows/series the corresponding paper table or figure reports, plus a
+``main()`` that prints them as an aligned text table.  Experiments run at
+a reduced element count and project simulated times to the paper's
+250M/500M-element datasets via the launch-overhead-aware ``scaled_ms``
+helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Element counts the paper's microbenchmarks use.
+PAPER_N_LADDER = 500_000_000
+PAPER_N_FIG7 = 250_000_000
+
+#: Default reduced element count for experiment runs (projected up).
+DEFAULT_N = 2_000_000
+
+#: Default SSB scale factors: the paper runs SF=20.
+PAPER_SF = 20.0
+DEFAULT_SF = 0.05
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive values by flooring at 1e-12)."""
+    vals = [max(float(v), 1e-12) for v in values]
+    if not vals:
+        raise ValueError("geomean of no values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render rows as an aligned text table (floats to 3 significant-ish)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+        return str(value)
+
+    grid = [[cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in grid)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in grid)
+    return f"{header}\n{sep}\n{body}"
+
+
+def print_experiment(title: str, rows: Sequence[dict], columns=None) -> None:
+    """Print one experiment's rows under a banner."""
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))

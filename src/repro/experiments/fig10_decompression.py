@@ -1,0 +1,100 @@
+"""E10/E11 — Figure 10: decompression speed on SSB columns.
+
+* Figure 10a: one-on-one cascade comparison, nvCOMP vs GPU-*, averaged
+  over the SSB columns each cascade wins (paper: GPU-FOR 2.4x, GPU-DFOR
+  3.5x, GPU-RFOR 2x faster than the matching nvCOMP configuration).
+* Figure 10b: geomean decompression time across all columns for Planner,
+  GPU-BP, nvCOMP, GPU-* (paper: GPU-* is 5.5x / 2x / 2.2x faster).
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import choose_gpu_star
+from repro.core.nvcomp import encode_nvcomp, decompress_nvcomp
+from repro.core.planner import decompress_planned, plan_column
+from repro.core.tile_decompress import decompress
+from repro.experiments.common import DEFAULT_SF, PAPER_SF, geomean, print_experiment
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.schema import LINEORDER_COLUMNS
+
+#: Paper's Figure 10a ratios per cascade.
+PAPER_RATIOS = {"for-bitpack": 2.4, "delta-for-bitpack": 3.5, "rle-for-bitpack": 2.0}
+
+
+def run(db: SSBDatabase | None = None, sf: float = DEFAULT_SF) -> list[dict]:
+    """Per-column decompression times (ms, projected to SF=20)."""
+    if db is None:
+        db = generate(scale_factor=sf)
+    scale = PAPER_SF / db.scale_factor
+    rows = []
+    for column in LINEORDER_COLUMNS:
+        values = db.lineorder[column]
+        row: dict = {"column": column}
+
+        star = choose_gpu_star(values)
+        device = GPUDevice()
+        row["gpu-star"] = decompress(star.encoded, device, write_back=True).scaled_ms(scale)
+        row["gpu-star scheme"] = star.codec_name
+
+        nv = encode_nvcomp(values)
+        device = GPUDevice()
+        row["nvcomp"] = decompress_nvcomp(nv, device).scaled_ms(scale)
+        row["nvcomp scheme"] = nv.scheme
+
+        planned = plan_column(values)
+        device = GPUDevice()
+        row["planner"] = decompress_planned(planned, device).scaled_ms(scale)
+
+        enc = get_codec("gpu-bp").encode(values)
+        device = GPUDevice()
+        row["gpu-bp"] = decompress(enc, device, write_back=True).scaled_ms(scale)
+        rows.append(row)
+    return rows
+
+
+def cascade_ratios(rows: list[dict]) -> list[dict]:
+    """Figure 10a: mean nvCOMP/GPU-* ratio per cascade configuration."""
+    buckets: dict[str, list[float]] = {}
+    for r in rows:
+        buckets.setdefault(r["nvcomp scheme"], []).append(r["nvcomp"] / r["gpu-star"])
+    return [
+        {
+            "cascade": scheme,
+            "nvcomp_over_gpu_star": sum(v) / len(v),
+            "paper": PAPER_RATIOS.get(scheme, float("nan")),
+            "columns": len(v),
+        }
+        for scheme, v in sorted(buckets.items())
+    ]
+
+
+def geomeans(rows: list[dict]) -> dict[str, float]:
+    """Figure 10b: geomean decompression time per system."""
+    return {
+        system: geomean(r[system] for r in rows)
+        for system in ("planner", "gpu-bp", "nvcomp", "gpu-star")
+    }
+
+
+def main() -> None:
+    rows = run()
+    print_experiment(
+        "E10: Figure 10a — per-column decompression (ms at SF=20)",
+        rows,
+        columns=["column", "gpu-star", "nvcomp", "planner", "gpu-bp", "gpu-star scheme", "nvcomp scheme"],
+    )
+    print_experiment("Figure 10a cascade ratios", cascade_ratios(rows))
+    g = geomeans(rows)
+    print("\nE11: Figure 10b geomeans (ms):", {k: round(v, 3) for k, v in g.items()})
+    print(
+        "ratios vs GPU-*:"
+        f" planner {g['planner']/g['gpu-star']:.2f}x (paper 5.5x),"
+        f" gpu-bp {g['gpu-bp']/g['gpu-star']:.2f}x (paper 2x),"
+        f" nvcomp {g['nvcomp']/g['gpu-star']:.2f}x (paper 2.2x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

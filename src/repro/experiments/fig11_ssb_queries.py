@@ -1,0 +1,93 @@
+"""E12 — Figure 11: end-to-end SSB query performance across systems.
+
+All 13 SSB queries on OmniSci, Planner, GPU-BP, nvCOMP, GPU-*, and None.
+Paper headlines (geomean): None is 1.35x faster than GPU-* in-memory;
+GPU-* beats Planner / GPU-BP / nvCOMP by 4x / 2.4x / 2.6x and OmniSci by
+12x.  Every system must return identical query answers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.experiments.common import DEFAULT_SF, PAPER_SF, geomean, print_experiment
+from repro.gpusim.executor import GPUDevice
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.loader import load_lineorder
+
+#: Systems in the figure's bar order.
+FIG11_SYSTEMS = ("omnisci", "planner", "gpu-bp", "nvcomp", "gpu-star", "none")
+
+#: Paper's geomean slowdowns relative to GPU-*.
+PAPER_RATIOS = {
+    "omnisci": 12.0,
+    "planner": 4.0,
+    "gpu-bp": 2.4,
+    "nvcomp": 2.6,
+    "gpu-star": 1.0,
+    "none": 1 / 1.35,
+}
+
+
+def run(
+    db: SSBDatabase | None = None,
+    sf: float = DEFAULT_SF,
+    systems: tuple[str, ...] = FIG11_SYSTEMS,
+    check_answers: bool = True,
+) -> list[dict]:
+    """One row per query with a per-system time column (ms at SF=20)."""
+    if db is None:
+        db = generate(scale_factor=sf)
+    scale = PAPER_SF / db.scale_factor
+    times: dict[str, dict[str, float]] = {}
+    answers: dict[str, dict[str, dict]] = {}
+    for system in systems:
+        store = load_lineorder(db, system)
+        times[system] = {}
+        answers[system] = {}
+        for qname, query in QUERIES.items():
+            engine = CrystalEngine(db, store, GPUDevice())
+            result = engine.run(query)
+            times[system][qname] = result.scaled_ms(scale)
+            answers[system][qname] = result.groups
+
+    if check_answers:
+        reference = answers[systems[0]]
+        for system in systems[1:]:
+            if answers[system] != reference:
+                raise AssertionError(
+                    f"system {system!r} disagrees with {systems[0]!r} on query answers"
+                )
+
+    rows = []
+    for qname in QUERIES:
+        rows.append({"query": qname, **{s: times[s][qname] for s in systems}})
+    rows.append(
+        {"query": "geomean", **{s: geomean(times[s].values()) for s in systems}}
+    )
+    return rows
+
+
+def ratios(rows: list[dict]) -> list[dict]:
+    """Geomean slowdowns relative to GPU-* next to the paper's."""
+    geo = next(r for r in rows if r["query"] == "geomean")
+    return [
+        {
+            "system": system,
+            "geomean_ms": geo[system],
+            "vs_gpu_star": geo[system] / geo["gpu-star"],
+            "paper": PAPER_RATIOS.get(system, float("nan")),
+        }
+        for system in rows[0]
+        if system != "query"
+    ]
+
+
+def main() -> None:
+    rows = run()
+    print_experiment("E12: Figure 11 — SSB query times (ms at SF=20)", rows)
+    print_experiment("Figure 11 geomean ratios", ratios(rows))
+
+
+if __name__ == "__main__":
+    main()

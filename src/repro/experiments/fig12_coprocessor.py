@@ -1,0 +1,67 @@
+"""E13 — Figure 12: GPU as a coprocessor (data shipped over PCIe).
+
+One query per flight (q1.1, q2.1, q3.1, q4.1) with the fact columns
+resident on the host: each query first transfers the columns it needs
+over the 12.8 GB/s PCIe link, then decompresses/executes on the GPU.
+Transfer time dominates, so the speedup of GPU-* over None approaches the
+compression ratio of the shipped columns — the paper reports 2.3x.
+"""
+
+from __future__ import annotations
+
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.experiments.common import DEFAULT_SF, PAPER_SF, geomean, print_experiment
+from repro.gpusim.executor import GPUDevice
+from repro.gpusim.spec import V100
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.loader import load_lineorder
+
+#: One query per SSB flight, as in the paper.
+COPROCESSOR_QUERIES = ("q1.1", "q2.1", "q3.1", "q4.1")
+
+
+def run(db: SSBDatabase | None = None, sf: float = DEFAULT_SF) -> list[dict]:
+    """Transfer + execution time per query for None and GPU-*."""
+    if db is None:
+        db = generate(scale_factor=sf)
+    project = PAPER_SF / db.scale_factor
+    stores = {system: load_lineorder(db, system) for system in ("none", "gpu-star")}
+
+    rows = []
+    for qname in COPROCESSOR_QUERIES:
+        query = QUERIES[qname]
+        row: dict = {"query": qname}
+        for system, store in stores.items():
+            shipped = sum(store[c].nbytes for c in query.columns)
+            # Transfer priced at the projected (SF=20) size directly: the
+            # PCIe model is linear with a fixed per-transfer latency.
+            transfer_ms = V100.pcie.transfer_ms(int(shipped * project))
+            engine = CrystalEngine(db, store, GPUDevice())
+            result = engine.run(query)
+            row[system] = transfer_ms + result.scaled_ms(project)
+            row[f"{system} transfer"] = transfer_ms
+        row["speedup"] = row["none"] / row["gpu-star"]
+        rows.append(row)
+    rows.append(
+        {
+            "query": "geomean",
+            "none": geomean(r["none"] for r in rows),
+            "gpu-star": geomean(r["gpu-star"] for r in rows),
+            "speedup": geomean(r["speedup"] for r in rows),
+        }
+    )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_experiment(
+        "E13: Figure 12 — coprocessor model (ms at SF=20; paper speedup 2.3x)",
+        rows,
+        columns=["query", "none", "gpu-star", "speedup"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""E2 — Figure 5: decompression time vs blocks per thread block (D).
+
+The paper sweeps D in {1, 2, 4, 8, 16, 32} decoding 500M uniform 16-bit
+integers: the big win is D=1 -> 4, improvements are marginal to D=16, and
+D=32 collapses because shared-memory demand crushes occupancy and
+registers spill.  The same resource arithmetic drives the simulator, so
+the U-shape reproduces mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.core.tile_decompress import decompress
+from repro.experiments.common import DEFAULT_N, PAPER_N_LADDER, print_experiment
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.workloads.synthetic import uniform_bitwidth
+
+#: D values Figure 5 sweeps.
+D_VALUES = (1, 2, 4, 8, 16, 32)
+
+
+def run(n: int = DEFAULT_N, seed: int = 0) -> list[dict]:
+    """Sweep D at ``n`` elements, projected to 500M."""
+    data = uniform_bitwidth(16, n, seed)
+    scale = PAPER_N_LADDER / n
+    rows = []
+    for d in D_VALUES:
+        device = GPUDevice()
+        enc = get_codec("gpu-for", d_blocks=d).encode(data)
+        report = decompress(enc, device, write_back=False)
+        launch = device.launches[-1]
+        rows.append(
+            {
+                "D": d,
+                "simulated_ms": report.scaled_ms(scale),
+                "occupancy": launch.occupancy.occupancy,
+                "spilled_regs": launch.occupancy.spilled_registers,
+                "limiter": launch.occupancy.limiter,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_experiment("E2: Figure 5 — decompression time vs D (500M ints, b=16)", run())
+
+
+if __name__ == "__main__":
+    main()

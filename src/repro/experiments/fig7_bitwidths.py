@@ -1,0 +1,120 @@
+"""E4/E5 — Figure 7: decompression time and compression rate vs bitwidth.
+
+For 15 unsorted datasets of 250M values uniform in [0, 2^i), i = 2..30:
+
+* Figure 7a: decompression time (read compressed, decode, write back) for
+  None, NSF, the three tile-based schemes, and their cascading-
+  decompression counterparts (FOR+BitPack etc.).
+* Figure 7b: compression rate in bits per int for None, NSF, GPU-FOR,
+  GPU-DFOR, GPU-RFOR — the bit-packed schemes are linear in the bitwidth
+  with ~0.75-0.81 bits/int overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.cascade import decompress_cascaded
+from repro.core.tile_decompress import decompress, read_uncompressed
+from repro.experiments.common import PAPER_N_FIG7, print_experiment
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.workloads.synthetic import FIG7_BITWIDTHS, uniform_bitwidth
+
+#: Figure 7a series names.
+TIME_SERIES = (
+    "None",
+    "NSF",
+    "GPU-FOR",
+    "GPU-DFOR",
+    "GPU-RFOR",
+    "FOR+BitPack",
+    "Delta+FOR+BitPack",
+    "RLE+FOR+BitPack",
+)
+#: Figure 7b series names.
+RATE_SERIES = ("None", "NSF", "GPU-FOR", "GPU-DFOR", "GPU-RFOR")
+
+_TILE_CODECS = {"GPU-FOR": "gpu-for", "GPU-DFOR": "gpu-dfor", "GPU-RFOR": "gpu-rfor"}
+_CASCADES = {
+    "FOR+BitPack": "gpu-for",
+    "Delta+FOR+BitPack": "gpu-dfor",
+    "RLE+FOR+BitPack": "gpu-rfor",
+}
+
+
+def run(
+    n: int = 1_000_000,
+    bitwidths: tuple[int, ...] = FIG7_BITWIDTHS,
+    seed: int = 0,
+) -> list[dict]:
+    """One row per bitwidth with a time and a rate column per scheme."""
+    scale = PAPER_N_FIG7 / n
+    rows = []
+    for bits in bitwidths:
+        data = uniform_bitwidth(bits, n, seed)
+        row: dict = {"bitwidth": bits}
+
+        device = GPUDevice()
+        ms = read_uncompressed(n, device, write_back=True)
+        overhead = device.spec.kernel_launch_us / 1000.0
+        row["time None"] = (ms - overhead) * scale + overhead
+        row["rate None"] = 32.0
+
+        nsf = get_codec("nsf")
+        enc = nsf.encode(data)
+        device = GPUDevice()
+        from repro.core.cascade import decompress_cascaded as _casc
+
+        report = _casc(enc, device)
+        row["time NSF"] = report.scaled_ms(scale)
+        row["rate NSF"] = enc.bits_per_int
+
+        encodings = {}
+        for label, codec_name in _TILE_CODECS.items():
+            enc = get_codec(codec_name).encode(data)
+            encodings[label] = enc
+            device = GPUDevice()
+            report = decompress(enc, device, write_back=True)
+            row[f"time {label}"] = report.scaled_ms(scale)
+            row[f"rate {label}"] = enc.bits_per_int
+
+        for label, codec_name in _CASCADES.items():
+            enc = encodings[_label_of(codec_name)]
+            device = GPUDevice()
+            report = decompress_cascaded(enc, device)
+            row[f"time {label}"] = report.scaled_ms(scale)
+
+        rows.append(row)
+    return rows
+
+
+def _label_of(codec_name: str) -> str:
+    for label, name in _TILE_CODECS.items():
+        if name == codec_name:
+            return label
+    raise KeyError(codec_name)
+
+
+def time_rows(rows: list[dict]) -> list[dict]:
+    """Project the Figure 7a columns out of :func:`run`'s rows."""
+    return [
+        {"bitwidth": r["bitwidth"], **{s: r[f"time {s}"] for s in TIME_SERIES}}
+        for r in rows
+    ]
+
+
+def rate_rows(rows: list[dict]) -> list[dict]:
+    """Project the Figure 7b columns out of :func:`run`'s rows."""
+    return [
+        {"bitwidth": r["bitwidth"], **{s: r[f"rate {s}"] for s in RATE_SERIES}}
+        for r in rows
+    ]
+
+
+def main() -> None:
+    rows = run()
+    print_experiment("E4: Figure 7a — decompression time (ms, 250M ints)", time_rows(rows))
+    print_experiment("E5: Figure 7b — compression rate (bits per int)", rate_rows(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""E9 — Figure 9: the SSB compression waterfall.
+
+Column-by-column compressed sizes of every ``lineorder`` column under
+None, Planner, GPU-BP, nvCOMP, and GPU-*, plus the mean.  Paper headline:
+GPU-* reduces the total footprint 2.8x vs None, beats GPU-BP by ~50% and
+Planner by ~40%, and edges nvCOMP by ~2%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_SF, PAPER_SF, print_experiment
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.loader import load_lineorder
+from repro.ssb.schema import LINEORDER_COLUMNS
+
+#: Systems in the figure's bar order.
+FIG9_SYSTEMS = ("none", "planner", "gpu-bp", "nvcomp", "gpu-star")
+
+
+def run(db: SSBDatabase | None = None, sf: float = DEFAULT_SF) -> list[dict]:
+    """Column sizes in MB, projected to the paper's SF=20."""
+    if db is None:
+        db = generate(scale_factor=sf)
+    project = PAPER_SF / db.scale_factor
+    stores = {system: load_lineorder(db, system) for system in FIG9_SYSTEMS}
+
+    rows = []
+    for column in LINEORDER_COLUMNS:
+        row: dict = {"column": column}
+        for system in FIG9_SYSTEMS:
+            row[system] = stores[system][column].nbytes * project / 1e6
+        row["gpu-star scheme"] = stores["gpu-star"][column].codec_name
+        rows.append(row)
+    mean_row: dict = {"column": "mean"}
+    for system in FIG9_SYSTEMS:
+        mean_row[system] = sum(r[system] for r in rows) / len(rows)
+    mean_row["gpu-star scheme"] = ""
+    rows.append(mean_row)
+    return rows
+
+
+def summary(rows: list[dict]) -> dict[str, float]:
+    """Total-footprint ratios the paper quotes in the text."""
+    totals = {
+        system: sum(r[system] for r in rows if r["column"] != "mean")
+        for system in FIG9_SYSTEMS
+    }
+    return {
+        "none_over_gpu_star": totals["none"] / totals["gpu-star"],
+        "gpu_bp_over_gpu_star": totals["gpu-bp"] / totals["gpu-star"],
+        "planner_over_gpu_star": totals["planner"] / totals["gpu-star"],
+        "nvcomp_over_gpu_star": totals["nvcomp"] / totals["gpu-star"],
+    }
+
+
+def main() -> None:
+    rows = run()
+    print_experiment("E9: Figure 9 — SSB column sizes (MB at SF=20)", rows)
+    s = summary(rows)
+    print(
+        "\nfootprint ratios vs GPU-*:"
+        f" none {s['none_over_gpu_star']:.2f}x (paper 2.8x),"
+        f" gpu-bp {s['gpu_bp_over_gpu_star']:.2f}x (paper ~1.5x),"
+        f" planner {s['planner_over_gpu_star']:.2f}x (paper ~1.4x),"
+        f" nvcomp {s['nvcomp_over_gpu_star']:.2f}x (paper ~1.02x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Extension — how long does the coprocessor win last as links improve?
+
+Figure 12's 2.3x speedup rests on a 12.8 GB/s PCIe 3 link.  Interconnects
+have improved fast (PCIe 4/5, NVLink), squeezing the transfer share of
+query time; this sweep reruns the coprocessor experiment across link
+generations to locate where compression's transfer benefit stops paying
+for its decode overhead.
+
+Expected shape: the speedup decays monotonically from ~2.6x at PCIe 3
+toward the in-memory ratio (~1/1.35 = 0.74x None-vs-GPU-*, i.e. slightly
+*below* 1) as the link approaches memory bandwidth — compression's win in
+the coprocessor regime is precisely a slow-link phenomenon, which is the
+paper's framing read in reverse.
+"""
+
+from __future__ import annotations
+
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.experiments.common import DEFAULT_SF, PAPER_SF, geomean, print_experiment
+from repro.gpusim.executor import GPUDevice
+from repro.gpusim.spec import PCIeSpec
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.loader import load_lineorder
+
+#: Link generations swept (GB/s).
+LINKS = {
+    "PCIe3 x16": 12.8,
+    "PCIe4 x16": 25.0,
+    "PCIe5 x16": 50.0,
+    "NVLink2": 150.0,
+    "NVLink4": 450.0,
+}
+
+#: One query per flight, as in Figure 12.
+SWEEP_QUERIES = ("q1.1", "q2.1", "q3.1", "q4.1")
+
+
+def run(db: SSBDatabase | None = None, sf: float = DEFAULT_SF) -> list[dict]:
+    """Coprocessor speedup (None/GPU-*) per link generation."""
+    if db is None:
+        db = generate(scale_factor=sf)
+    project = PAPER_SF / db.scale_factor
+    stores = {s: load_lineorder(db, s) for s in ("none", "gpu-star")}
+
+    # Execution time is link-independent; compute it once per system.
+    exec_ms: dict[str, dict[str, float]] = {}
+    for system, store in stores.items():
+        exec_ms[system] = {}
+        for qname in SWEEP_QUERIES:
+            engine = CrystalEngine(db, store, GPUDevice())
+            exec_ms[system][qname] = engine.run(QUERIES[qname]).scaled_ms(project)
+
+    rows = []
+    for link, gbps in LINKS.items():
+        pcie = PCIeSpec(bandwidth_gbps=gbps)
+        speedups = []
+        row: dict = {"link": link, "GBps": gbps}
+        for qname in SWEEP_QUERIES:
+            query = QUERIES[qname]
+            totals = {}
+            for system, store in stores.items():
+                shipped = int(
+                    sum(store[c].nbytes for c in query.columns) * project
+                )
+                totals[system] = pcie.transfer_ms(shipped) + exec_ms[system][qname]
+            speedups.append(totals["none"] / totals["gpu-star"])
+        row["speedup"] = geomean(speedups)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print_experiment(
+        "Extension — coprocessor speedup vs interconnect generation "
+        "(paper's 2.3x is the PCIe3 row)",
+        run(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""E1 — the Section 4.2 optimization ladder.
+
+Replays the paper's incremental-optimization measurement: decoding 500M
+uniform U(0, 2^16) integers with the base algorithm, then adding shared-
+memory staging (Opt 1), multiple blocks per thread block (Opt 2), and
+precomputed miniblock offsets (Opt 3).
+
+Paper reference points: 18 ms -> 7 ms -> 2.39 ms -> 2.1 ms, against
+2.4 ms to read the uncompressed column.
+"""
+
+from __future__ import annotations
+
+from repro.core.tile_decompress import decompress, read_uncompressed
+from repro.experiments.common import DEFAULT_N, PAPER_N_LADDER, print_experiment
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.workloads.synthetic import uniform_bitwidth
+
+#: The paper's measured milliseconds per ladder step.
+PAPER_MS = {0: 18.0, 1: 7.0, 2: 2.39, 3: 2.1}
+PAPER_READ_MS = 2.4
+
+_LABELS = {
+    0: "base algorithm",
+    1: "opt1: shared memory",
+    2: "opt2: D blocks per thread block",
+    3: "opt3: precomputed offsets",
+}
+
+
+def run(n: int = DEFAULT_N, seed: int = 0) -> list[dict]:
+    """Run the ladder at ``n`` elements, projected to 500M."""
+    data = uniform_bitwidth(16, n, seed)
+    scale = PAPER_N_LADDER / n
+    rows = []
+    for opt in range(4):
+        device = GPUDevice()
+        enc = get_codec("gpu-for").encode(data)
+        report = decompress(enc, device, opt_level=opt, write_back=False)
+        rows.append(
+            {
+                "step": _LABELS[opt],
+                "simulated_ms": report.scaled_ms(scale),
+                "paper_ms": PAPER_MS[opt],
+            }
+        )
+    device = GPUDevice()
+    ms = read_uncompressed(n, device)
+    overhead = device.spec.kernel_launch_us / 1000.0
+    rows.append(
+        {
+            "step": "read uncompressed (None)",
+            "simulated_ms": (ms - overhead) * scale + overhead,
+            "paper_ms": PAPER_READ_MS,
+        }
+    )
+    return rows
+
+
+def main() -> None:
+    print_experiment("E1: Section 4.2 optimization ladder (500M ints, b=16)", run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Related-work comparison: the Section 2.2 CPU-heritage codecs.
+
+The paper's related work surveys VByte, PFOR, and Simple-N and argues
+bit-aligned packing (GPU-FOR) dominates on the GPU; Mallia et al. shipped
+GPU-VByte but the paper compares only against GPU-BP "since it has
+superior compression ratio and decompression performance".  This
+experiment puts the implemented related-work codecs next to GPU-FOR on
+the Figure 8-style distributions so those two editorial choices can be
+checked:
+
+* GPU-BP should beat GPU-VByte on both ratio and decode speed;
+* GPU-FOR should at least match PFOR / Simple-8b on ratio while decoding
+  in a single inline-able pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cascade import decompress_cascaded
+from repro.core.tile_decompress import decompress
+from repro.experiments.common import PAPER_N_FIG7, print_experiment
+from repro.formats.base import TileCodec
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.workloads.synthetic import d3_zipf, runs, uniform_bitwidth
+
+#: Codecs compared (tile codecs decode single-pass, others cascade).
+CODECS = ("gpu-for", "gpu-bp", "gpu-vbyte", "pfor", "simple8b")
+
+
+def _datasets(n: int, seed: int) -> dict[str, np.ndarray]:
+    skewed = uniform_bitwidth(12, n, seed).copy()
+    skewed[:: 509] = 2**27  # one outlier every ~4 blocks
+    return {
+        "uniform-16bit": uniform_bitwidth(16, n, seed),
+        "zipf-a1.5": d3_zipf(1.5, n, seed=seed),
+        "runs-avg8": runs(8, n, distinct=5000, seed=seed),
+        "skewed-outliers": skewed,
+    }
+
+
+def run(n: int = 400_000, seed: int = 0) -> list[dict]:
+    """Rate and decode time for every codec on every dataset."""
+    scale = PAPER_N_FIG7 / n
+    rows = []
+    for dataset, data in _datasets(n, seed).items():
+        row: dict = {"dataset": dataset}
+        for name in CODECS:
+            codec = get_codec(name)
+            enc = codec.encode(data)
+            device = GPUDevice()
+            if isinstance(codec, TileCodec):
+                report = decompress(enc, device, write_back=True)
+            else:
+                report = decompress_cascaded(enc, device)
+            assert np.array_equal(
+                report.values.astype(np.int64), data.astype(np.int64)
+            )
+            row[f"rate {name}"] = enc.bits_per_int
+            row[f"time {name}"] = report.scaled_ms(scale)
+        rows.append(row)
+    return rows
+
+
+def rate_rows(rows: list[dict]) -> list[dict]:
+    return [
+        {"dataset": r["dataset"], **{c: r[f"rate {c}"] for c in CODECS}}
+        for r in rows
+    ]
+
+
+def time_rows(rows: list[dict]) -> list[dict]:
+    return [
+        {"dataset": r["dataset"], **{c: r[f"time {c}"] for c in CODECS}}
+        for r in rows
+    ]
+
+
+def main() -> None:
+    rows = run()
+    print_experiment("Related work — compression rate (bits/int)", rate_rows(rows))
+    print_experiment(
+        "Related work — decompression time (ms, 250M-projected)", time_rows(rows)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,187 @@
+"""Codec interfaces and the encoded-column container.
+
+Every compression scheme in the reproduction — the paper's GPU-FOR /
+GPU-DFOR / GPU-RFOR, the ablation GPU-SIMDBP128, and all baselines — is a
+:class:`ColumnCodec`.  Schemes that satisfy the paper's two tile properties
+(Section 3: tile-granularity data format, tile-based decompression routine)
+additionally implement :class:`TileCodec`, which is what the tile-based
+decompression executor and the Crystal engine integration consume.
+
+The split mirrors the paper's architecture: the *format* (this package)
+defines layout and bit-exact encode/decode, while the *execution models*
+(:mod:`repro.core.tile_decompress`, :mod:`repro.core.cascade`) decide how
+many kernel passes decoding costs on the simulated GPU.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+
+@dataclass
+class EncodedColumn:
+    """A compressed column: named physical arrays plus scheme metadata.
+
+    Attributes:
+        codec: registry name of the codec that produced this column.
+        count: logical number of elements.
+        arrays: the physical buffers as they would sit in GPU global
+            memory (e.g. ``data``, ``block_starts``, ``first_values``).
+        meta: scheme parameters needed to decode (block size, D, ...).
+        dtype: dtype of the original column.
+    """
+
+    codec: str
+    count: int
+    arrays: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+    dtype: np.dtype = np.dtype(np.int32)
+
+    @property
+    def nbytes(self) -> int:
+        """Total compressed footprint in bytes (all physical arrays)."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+    @property
+    def bits_per_int(self) -> float:
+        """Compressed bits per logical element (the paper's y-axis metric)."""
+        if self.count == 0:
+            return 0.0
+        return self.nbytes * 8 / self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EncodedColumn(codec={self.codec!r}, count={self.count}, "
+            f"nbytes={self.nbytes}, bits_per_int={self.bits_per_int:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource footprint of a codec's tile decoder.
+
+    These drive the occupancy calculation (Figure 5's D sweep and the
+    Section 4.3 vertical-layout ablation both fall out of them).
+
+    Attributes:
+        registers_per_thread: registers the decode device function needs.
+        shared_mem_per_block: bytes of shared memory per thread block.
+        compute_ops_per_element: scalar ops to decode one element.
+        tile_prologue_ops: fixed per-tile work (block start resolution,
+            offset precomputation, barriers).
+        shared_bytes_per_element: shared-memory traffic per element.
+    """
+
+    registers_per_thread: int
+    shared_mem_per_block: int
+    compute_ops_per_element: float
+    tile_prologue_ops: float = 0.0
+    shared_bytes_per_element: float = 8.0
+
+
+@dataclass(frozen=True)
+class CascadePass:
+    """One kernel pass of the cascading decompression baseline (Figure 2
+    left): what it reads, what it writes, and how much it computes.
+
+    ``read_segment_key`` optionally names an encoded array whose per-block
+    segments are read instead of a linear sweep (the first unpack pass
+    reads scattered compressed blocks; later passes sweep dense
+    intermediates).
+    """
+
+    name: str
+    read_bytes: int
+    write_bytes: int
+    compute_ops: int = 0
+    #: (starts, lengths) byte segments read in addition to read_bytes.
+    read_segments: tuple[np.ndarray, np.ndarray] | None = None
+    #: Uncoalesced accesses: (count, element_bytes[, region_bytes]) —
+    #: the optional region bound caps dense gathers/scatters at one full
+    #: sweep of the touched array.
+    gathers: tuple[int, ...] | None = None
+    scatters: tuple[int, ...] | None = None
+
+
+class ColumnCodec(abc.ABC):
+    """A lossless integer column compression scheme."""
+
+    #: Registry name ("gpu-for", "nsf", ...); set by each subclass.
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        """Compress ``values`` (any integer dtype) into an encoded column."""
+
+    @abc.abstractmethod
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        """Decompress the full column (bit-exact inverse of :meth:`encode`)."""
+
+    def check_roundtrip(self, values: np.ndarray) -> EncodedColumn:
+        """Encode, verify decode reproduces the input, return the encoding.
+
+        A convenience used by examples and the hybrid chooser's paranoid
+        mode; raises ``ValueError`` on any mismatch.
+        """
+        values = np.asarray(values)
+        enc = self.encode(values)
+        out = self.decode(enc)
+        if out.shape != values.shape or not np.array_equal(
+            out.astype(np.int64), values.astype(np.int64)
+        ):
+            raise ValueError(f"codec {self.name} failed round-trip")
+        return enc
+
+    @abc.abstractmethod
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        """Kernel passes a layer-at-a-time decompressor needs (Figure 2 left)."""
+
+
+class TileCodec(ColumnCodec):
+    """A codec with the two tile properties of Section 3.
+
+    Tiles are groups of ``d_blocks`` format blocks; a tile is decoded
+    entirely in shared memory by one thread block, optionally inline with
+    query execution.
+    """
+
+    #: Elements per format block (128 for *FOR/DFOR, 512 for RFOR).
+    block_elements: ClassVar[int]
+
+    def tile_elements(self, enc: EncodedColumn) -> int:
+        """Logical elements one thread block decodes (D blocks' worth)."""
+        return self.block_elements * self.d_blocks(enc)
+
+    def d_blocks(self, enc: EncodedColumn) -> int:
+        """Blocks processed per thread block (the paper's D, default 4)."""
+        return int(enc.meta.get("d_blocks", 4))
+
+    def num_tiles(self, enc: EncodedColumn) -> int:
+        """Number of tiles covering the column."""
+        per_tile = self.tile_elements(enc)
+        return -(-enc.count // per_tile)
+
+    @abc.abstractmethod
+    def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        """Decode one tile's values (the device-function equivalent).
+
+        The last tile may be shorter than :meth:`tile_elements`.
+        """
+
+    @abc.abstractmethod
+    def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Compressed byte segments each tile reads from global memory.
+
+        Returns:
+            ``(starts, lengths)`` arrays, one entry per tile, covering
+            every physical byte a tile's thread block loads (data blocks,
+            block starts, per-tile metadata).
+        """
+
+    @abc.abstractmethod
+    def kernel_resources(self, enc: EncodedColumn) -> KernelResources:
+        """Resource footprint of the tile decode device function."""

@@ -1,0 +1,172 @@
+"""Bit-level packing primitives (horizontal layout).
+
+Bit-packing writes each integer in ``[0, 2**b)`` with exactly ``b`` bits,
+concatenating the bit strings into 32-bit words with no padding between
+values (Figure 4 of the paper).  The layout is *horizontal*: subsequent
+values occupy subsequent bit positions, LSB-first within each word, exactly
+like the CUDA implementation's ``(word >> start_bit) & mask`` extraction.
+
+Everything here is vectorized NumPy; these functions are the shared
+foundation of GPU-FOR, GPU-DFOR, GPU-RFOR, GPU-BP and GPU-SIMDBP128.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Word size of the packed stream, in bits.
+WORD_BITS = 32
+#: Maximum supported bitwidth for one packed value.
+MAX_BITS = 32
+
+
+def required_bits(values: np.ndarray) -> int:
+    """Minimum bitwidth ``b`` so every value fits in ``[0, 2**b)``.
+
+    An empty array needs 0 bits.  Raises on negative input — callers apply
+    frame-of-reference first, which makes values non-negative.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    lo = int(values.min())
+    if lo < 0:
+        raise ValueError(f"bit-packing needs non-negative values, got min {lo}")
+    hi = int(values.max())
+    return hi.bit_length()
+
+
+def words_needed(count: int, bits: int) -> int:
+    """Number of 32-bit words that ``count`` values of ``bits`` bits occupy."""
+    if count < 0 or not 0 <= bits <= MAX_BITS:
+        raise ValueError(f"invalid count={count} or bits={bits}")
+    return -(-count * bits // WORD_BITS)
+
+
+def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack ``values`` (each ``< 2**bits``) into a dense uint32 stream.
+
+    Value ``i`` occupies bit positions ``[i*bits, (i+1)*bits)`` of the
+    stream; bit ``p`` of the stream is bit ``p % 32`` of word ``p // 32``.
+
+    Args:
+        values: non-negative integers, any integer dtype.
+        bits: bitwidth per value, 0..32.  ``bits == 0`` packs to nothing.
+
+    Returns:
+        uint32 array of :func:`words_needed` words (trailing bits zero).
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if not 0 <= bits <= MAX_BITS:
+        raise ValueError(f"bits must be in [0, 32], got {bits}")
+    n = values.size
+    if n == 0 or bits == 0:
+        return np.zeros(words_needed(n, bits), dtype=np.uint32)
+    if bits < 64 and np.any(values >> np.uint64(bits)):
+        raise ValueError(f"values do not fit in {bits} bits")
+
+    # Explode each value into its `bits` little-endian bits, concatenate
+    # into the stream, then fold the stream back into bytes/words.
+    as_bytes = values.astype("<u8").view(np.uint8).reshape(n, 8)
+    value_bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :bits]
+    stream = value_bits.reshape(-1)
+    nwords = words_needed(n, bits)
+    padded = np.zeros(nwords * WORD_BITS, dtype=np.uint8)
+    padded[: stream.size] = stream
+    return np.packbits(padded, bitorder="little").view("<u4").astype(np.uint32)
+
+
+def unpack_bits(words: np.ndarray, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: extract ``count`` values of ``bits`` bits.
+
+    Args:
+        words: uint32 stream holding at least ``count * bits`` bits.
+        count: number of values to extract.
+        bits: bitwidth per value, 0..32.
+
+    Returns:
+        uint32 array of ``count`` values.
+    """
+    if count < 0 or not 0 <= bits <= MAX_BITS:
+        raise ValueError(f"invalid count={count} or bits={bits}")
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    if bits == 0:
+        return np.zeros(count, dtype=np.uint32)
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    needed = words_needed(count, bits)
+    if words.size < needed:
+        raise ValueError(f"stream has {words.size} words, need {needed}")
+
+    stream = np.unpackbits(
+        words[:needed].astype("<u4").view(np.uint8),
+        bitorder="little",
+        count=count * bits,
+    )
+    value_bits = stream.reshape(count, bits)
+    padded = np.zeros((count, 64), dtype=np.uint8)
+    padded[:, :bits] = value_bits
+    return (
+        np.packbits(padded, axis=1, bitorder="little")
+        .copy()
+        .view("<u8")
+        .ravel()
+        .astype(np.uint32)
+    )
+
+
+def pack_vertical(values: np.ndarray, bits: int, lanes: int) -> np.ndarray:
+    """Pack in the *vertical* (striped) layout of SIMD-BP128 (Figure 1).
+
+    Values are distributed round-robin across ``lanes`` lanes; each lane is
+    then bit-packed horizontally and the lane streams are interleaved word
+    by word, so lane ``l`` of word-group ``g`` sits at word ``g*lanes + l``.
+    ``values.size`` must be a multiple of ``lanes * 32`` so every lane ends
+    on a word boundary (the property SIMD-BP128's layout is built around).
+
+    Args:
+        values: non-negative integers.
+        bits: bitwidth per value.
+        lanes: number of vertical lanes (4 on SSE, 32 on a GPU warp).
+
+    Returns:
+        uint32 array of ``values.size * bits / 32`` words.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    n = values.size
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if n % (lanes * WORD_BITS):
+        raise ValueError(
+            f"vertical packing needs size a multiple of lanes*32 "
+            f"({lanes * WORD_BITS}), got {n}"
+        )
+    if n == 0 or bits == 0:
+        return np.zeros(words_needed(n, bits), dtype=np.uint32)
+    per_lane = n // lanes
+    # Lane l holds values l, l+lanes, l+2*lanes, ...
+    lanes_matrix = values.reshape(per_lane, lanes).T
+    packed_lanes = np.stack(
+        [pack_bits(lane, bits) for lane in lanes_matrix]
+    )  # (lanes, words_per_lane)
+    return packed_lanes.T.reshape(-1).astype(np.uint32)
+
+
+def unpack_vertical(words: np.ndarray, count: int, bits: int, lanes: int) -> np.ndarray:
+    """Inverse of :func:`pack_vertical`."""
+    if count % (lanes * WORD_BITS):
+        raise ValueError(
+            f"vertical unpacking needs count a multiple of lanes*32, got {count}"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    if bits == 0:
+        return np.zeros(count, dtype=np.uint32)
+    words = np.asarray(words, dtype=np.uint32)
+    per_lane = count // lanes
+    words_per_lane = words_needed(per_lane, bits)
+    lane_words = words[: words_per_lane * lanes].reshape(words_per_lane, lanes).T
+    out = np.empty((per_lane, lanes), dtype=np.uint32)
+    for l in range(lanes):
+        out[:, l] = unpack_bits(lane_words[l], per_lane, bits)
+    return out.reshape(-1)

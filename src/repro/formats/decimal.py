@@ -1,0 +1,90 @@
+"""Fixed-point decimal columns.
+
+Analytics engines store decimals as scaled integers (a price of 12.34
+with scale 2 is the integer 1234), which makes every integer compression
+scheme apply verbatim — the paper's "integer, decimal, and
+dictionary-encoded strings" coverage.  This front end handles the scaling,
+validates that the requested scale is lossless for the data, and
+compresses the scaled integers with any registered codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import EncodedColumn
+from repro.formats.registry import get_codec
+
+
+@dataclass
+class EncodedDecimalColumn:
+    """A decimal column: compressed scaled integers + the scale."""
+
+    scaled: EncodedColumn
+    scale: int
+    codec_name: str
+
+    @property
+    def count(self) -> int:
+        return self.scaled.count
+
+    @property
+    def nbytes(self) -> int:
+        return self.scaled.nbytes
+
+    @property
+    def bits_per_value(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.nbytes * 8 / self.count
+
+
+def encode_decimals(
+    values: np.ndarray,
+    scale: int = 2,
+    codec_name: str | None = None,
+) -> EncodedDecimalColumn:
+    """Compress a float column as scale-``scale`` fixed-point decimals.
+
+    Args:
+        values: 1-D float array whose entries are exact multiples of
+            ``10**-scale`` (up to float rounding); anything else raises,
+            because silently rounding money would be a bug factory.
+        scale: decimal digits after the point.
+        codec_name: integer codec; ``None`` lets GPU-* choose.
+
+    Returns:
+        An :class:`EncodedDecimalColumn`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("encode_decimals expects a 1-D array")
+    if not 0 <= scale <= 9:
+        raise ValueError(f"scale must be in [0, 9], got {scale}")
+    factor = 10**scale
+    scaled_f = values * factor
+    scaled = np.rint(scaled_f)
+    if not np.allclose(scaled_f, scaled, rtol=0, atol=1e-6 * factor):
+        raise ValueError(
+            f"values are not exact multiples of 10**-{scale}; "
+            "pick a larger scale"
+        )
+    ints = scaled.astype(np.int64)
+    if codec_name is None:
+        # Imported lazily: repro.core depends on repro.formats, so the
+        # hybrid chooser cannot be a module-level import here.
+        from repro.core.hybrid import choose_gpu_star
+
+        choice = choose_gpu_star(ints)
+        enc, name = choice.encoded, choice.codec_name
+    else:
+        enc, name = get_codec(codec_name).encode(ints), codec_name
+    return EncodedDecimalColumn(scaled=enc, scale=scale, codec_name=name)
+
+
+def decode_decimals(column: EncodedDecimalColumn) -> np.ndarray:
+    """Materialize the decimal column as float64 (exact for the scale)."""
+    ints = get_codec(column.codec_name).decode(column.scaled).astype(np.int64)
+    return ints / 10**column.scale

@@ -1,0 +1,53 @@
+"""Plain delta coding (a planner/nvCOMP cascade layer).
+
+Stores the first value and the successive differences as int32 — no
+bit-packing, so it only helps when cascaded with a null-suppression
+layer.  Decoding is a device-wide prefix sum, one of the extra kernel
+passes the cascading decompression model pays for (Figure 2 left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+
+
+class Delta(ColumnCodec):
+    """Whole-column differential coding."""
+
+    name = "delta"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        deltas = np.zeros(v.size, dtype=np.int64)
+        if v.size:
+            deltas[0] = v[0]
+            deltas[1:] = v[1:] - v[:-1]
+        if deltas.size and not (
+            -(2**31) <= int(deltas.min()) and int(deltas.max()) < 2**31
+        ):
+            raise ValueError("deltas do not fit in int32")
+        return EncodedColumn(
+            codec=self.name,
+            count=values.size,
+            arrays={"deltas": deltas.astype(np.int32)},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        return np.cumsum(enc.arrays["deltas"].astype(np.int64)).astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        nbytes = enc.count * 4
+        return [
+            CascadePass(
+                name="prefix-sum",
+                read_bytes=2 * nbytes,
+                write_bytes=nbytes,
+                compute_ops=enc.count * 4,
+            )
+        ]

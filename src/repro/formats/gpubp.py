@@ -1,0 +1,164 @@
+"""GPU-BP: single-layer horizontal bit-packing (Mallia et al. [33]).
+
+The Figure 9/10/11 baseline: bit-packs blocks of 128 values with a
+per-block bitwidth, but — unlike GPU-FOR — applies **no frame of
+reference** (and no delta or RLE layer), so the bitwidth is set by the
+raw magnitude of the block maximum.  That is why it compresses date
+columns and run-heavy columns poorly (Section 9.4).
+
+The decoder is one pass but lacks the Section 4.2 optimizations
+(single block per thread block, redundant per-thread offset loop), which
+the kernel resources reflect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import bitio
+from repro.formats.base import (
+    CascadePass,
+    EncodedColumn,
+    KernelResources,
+    TileCodec,
+)
+from repro.formats.gpufor import BLOCK, bit_length
+
+#: Words of per-block metadata (just the bitwidth word).
+_HEADER_WORDS = 1
+
+
+class GpuBp(TileCodec):
+    """Bit-packing without FOR, per 128-value block."""
+
+    name = "gpu-bp"
+    block_elements = BLOCK
+
+    def __init__(self, d_blocks: int = 1):
+        if d_blocks < 1:
+            raise ValueError(f"d_blocks must be >= 1, got {d_blocks}")
+        self._d_blocks = d_blocks
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        if v.size and (v.min() < 0 or v.max() >= 2**32):
+            raise ValueError("GPU-BP requires values in [0, 2**32)")
+        n = v.size
+        pad = (-n) % BLOCK
+        if pad and n:
+            v = np.concatenate([v, np.full(pad, v[-1], dtype=np.int64)])
+        n_blocks = v.size // BLOCK
+
+        blocks = v.reshape(n_blocks, BLOCK)
+        bits = bit_length(blocks.max(axis=1)) if n_blocks else np.zeros(0, np.int64)
+        bits = bits.astype(np.int64)
+        block_words = _HEADER_WORDS + bits * BLOCK // 32
+        block_starts = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(block_words, out=block_starts[1:])
+
+        data = np.zeros(int(block_starts[-1]), dtype=np.uint32)
+        data[block_starts[:-1]] = bits.astype(np.uint32)
+        for b in np.unique(bits):
+            if b == 0:
+                continue
+            sel = np.flatnonzero(bits == b)
+            packed = bitio.pack_bits(
+                blocks[sel].reshape(-1).astype(np.uint64), int(b)
+            ).reshape(sel.size, -1)
+            dest = (block_starts[sel] + _HEADER_WORDS)[:, None] + np.arange(
+                packed.shape[1]
+            )
+            data[dest.reshape(-1)] = packed.reshape(-1)
+
+        return EncodedColumn(
+            codec=self.name,
+            count=n,
+            arrays={
+                "header": np.array([n, BLOCK], dtype=np.uint32),
+                "block_starts": block_starts.astype(np.uint32),
+                "data": data,
+            },
+            meta={"d_blocks": self._d_blocks},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        n_blocks = enc.arrays["block_starts"].size - 1
+        out = self._decode_blocks(enc, 0, n_blocks)
+        return out[: enc.count].astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        starts, lengths = self.tile_segments(enc)
+        return [
+            CascadePass(
+                name="unpack-bits",
+                read_bytes=0,
+                write_bytes=enc.count * 4,
+                compute_ops=enc.count * 7,
+                read_segments=(starts, lengths),
+            )
+        ]
+
+    # -- TileCodec ----------------------------------------------------------
+
+    def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        d = self.d_blocks(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tile_idx * d
+        last = min(first + d, n_blocks)
+        if not 0 <= first < n_blocks:
+            raise IndexError(f"tile {tile_idx} out of range")
+        vals = self._decode_blocks(enc, first, last)
+        end = min((first + d) * BLOCK, enc.count) - first * BLOCK
+        return vals[:end].astype(enc.dtype)
+
+    def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        d = self.d_blocks(enc)
+        starts_arr = enc.arrays["block_starts"].astype(np.int64)
+        n_blocks = starts_arr.size - 1
+        tile_first = np.arange(0, n_blocks, d, dtype=np.int64)
+        tile_last = np.minimum(tile_first + d, n_blocks)
+        data_start = starts_arr[tile_first] * 4
+        data_len = (starts_arr[tile_last] - starts_arr[tile_first]) * 4
+        base = int(starts_arr[-1]) * 4
+        bs_start = base + tile_first * 4
+        bs_len = (tile_last - tile_first + 1) * 4
+        return (
+            np.concatenate([data_start, bs_start]),
+            np.concatenate([data_len, bs_len]),
+        )
+
+    def kernel_resources(self, enc: EncodedColumn) -> KernelResources:
+        d = self.d_blocks(enc)
+        # No multi-block processing, no offset precomputation: the
+        # per-thread compute matches the paper's unoptimized kernel.
+        return KernelResources(
+            registers_per_thread=12 + 2 * d,
+            shared_mem_per_block=d * BLOCK * 4 + 256,
+            compute_ops_per_element=11.0,
+            tile_prologue_ops=5500.0,
+            shared_bytes_per_element=8.0,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _decode_blocks(self, enc: EncodedColumn, first: int, last: int) -> np.ndarray:
+        n = last - first
+        starts = enc.arrays["block_starts"].astype(np.int64)[first : last + 1]
+        data = enc.arrays["data"]
+        bits = data[starts[:-1]].astype(np.int64)
+        out = np.empty((n, BLOCK), dtype=np.int64)
+        for b in np.unique(bits):
+            sel = np.flatnonzero(bits == b)
+            if b == 0:
+                out[sel] = 0
+                continue
+            words_per = int(b) * BLOCK // 32
+            src = (starts[:-1][sel] + _HEADER_WORDS)[:, None] + np.arange(words_per)
+            words = data[src.reshape(-1)]
+            vals = bitio.unpack_bits(words, sel.size * BLOCK, int(b))
+            out[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)
+        return out.reshape(-1)

@@ -1,0 +1,292 @@
+"""GPU-FOR: frame-of-reference + bit-packing (paper Section 4).
+
+Data format (Figures 3 and 4):
+
+* the column is split into **blocks of 128 integers**;
+* each block stores a 32-bit **reference** (the block minimum) followed by
+  one 32-bit **bitwidth word** holding four bitwidths (one byte each) for
+  the block's four **miniblocks of 32 integers**;
+* each miniblock is bit-packed horizontally with its own bitwidth, so a
+  miniblock of width ``b`` occupies exactly ``b`` 32-bit words (the
+  32-value miniblock size guarantees word alignment for any ``b``);
+* a separate ``block_starts`` array holds each block's word offset into
+  the data array so blocks decode in parallel;
+* a 3-word header stores total count, block size, and miniblock count.
+
+Overhead is 12 bytes per 128 values = 0.75 bits/int, matching Section 9.2.
+
+The tile used by the tile-based decompression model is ``D`` consecutive
+blocks (``d_blocks``, the paper's only hyperparameter, default 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import bitio
+from repro.formats.base import (
+    CascadePass,
+    EncodedColumn,
+    KernelResources,
+    TileCodec,
+)
+
+#: Values per block.
+BLOCK = 128
+#: Values per miniblock.
+MINIBLOCK = 32
+#: Miniblocks per block.
+MINIBLOCKS_PER_BLOCK = BLOCK // MINIBLOCK
+#: Words of per-block metadata (reference + bitwidth word).
+BLOCK_HEADER_WORDS = 2
+
+#: Exclusive upper bounds for bit_length: value m needs
+#: ``searchsorted(_BIT_BOUNDS, m, 'right')`` bits.  Covers the full
+#: uint63 range so wide-value codecs (Simple-8b's 60-bit payloads) get
+#: exact widths too.
+_BIT_BOUNDS = (2 ** np.arange(63, dtype=np.uint64)).astype(np.uint64)
+
+
+def bit_length(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative integers (exact)."""
+    return np.searchsorted(_BIT_BOUNDS, np.asarray(values, dtype=np.uint64), side="right")
+
+
+def _pad_to_blocks(values: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Pad to a whole number of blocks, repeating the last value.
+
+    Repeating an existing value of the final block never widens that
+    block's [min, max] range, so padding costs no extra bits.
+    """
+    n = values.size
+    if n == 0:
+        return values.reshape(0)
+    pad = (-n) % block
+    if pad == 0:
+        return values
+    return np.concatenate([values, np.full(pad, values[-1], dtype=values.dtype)])
+
+
+def pack_blocks(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FOR + miniblock bit-pack ``values`` (already padded to blocks).
+
+    This is the shared encoder core: GPU-FOR uses it on raw values,
+    GPU-DFOR on per-tile deltas, GPU-RFOR on run values/lengths.
+
+    Returns:
+        ``(data, block_starts, bits)`` — the packed uint32 data array, the
+        per-block word offsets (with an end sentinel, ``n_blocks + 1``
+        entries), and the per-miniblock bitwidths ``(n_blocks, 4)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size % BLOCK:
+        raise ValueError(f"pack_blocks needs a multiple of {BLOCK} values")
+    n_blocks = values.size // BLOCK
+    if n_blocks == 0:
+        return (
+            np.zeros(0, dtype=np.uint32),
+            np.zeros(1, dtype=np.uint32),
+            np.zeros((0, MINIBLOCKS_PER_BLOCK), dtype=np.int64),
+        )
+
+    blocks = values.reshape(n_blocks, BLOCK)
+    references = blocks.min(axis=1)
+    diffs = blocks - references[:, None]
+    if int(diffs.max()) >= 2**32:
+        raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
+
+    minis = diffs.reshape(n_blocks, MINIBLOCKS_PER_BLOCK, MINIBLOCK)
+    bits = bit_length(minis.max(axis=2))  # (n_blocks, 4)
+
+    block_words = BLOCK_HEADER_WORDS + bits.sum(axis=1)
+    block_starts = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(block_words, out=block_starts[1:])
+    total_words = int(block_starts[-1])
+
+    # Word offset of each miniblock inside the data array.
+    mini_words = np.concatenate(
+        [
+            np.zeros((n_blocks, 1), dtype=np.int64),
+            np.cumsum(bits[:, :-1], axis=1),
+        ],
+        axis=1,
+    )
+    mini_offsets = block_starts[:-1, None] + BLOCK_HEADER_WORDS + mini_words
+
+    data = np.zeros(total_words, dtype=np.uint32)
+    data[block_starts[:-1]] = references.astype(np.int32).view(np.uint32)
+    bw_words = (
+        bits[:, 0] | (bits[:, 1] << 8) | (bits[:, 2] << 16) | (bits[:, 3] << 24)
+    )
+    data[block_starts[:-1] + 1] = bw_words.astype(np.uint32)
+
+    flat_minis = minis.reshape(-1, MINIBLOCK).astype(np.uint64)
+    flat_bits = bits.reshape(-1)
+    flat_offsets = mini_offsets.reshape(-1)
+    for b in np.unique(flat_bits):
+        if b == 0:
+            continue
+        sel = np.flatnonzero(flat_bits == b)
+        packed = bitio.pack_bits(flat_minis[sel].reshape(-1), int(b))
+        packed = packed.reshape(sel.size, int(b))
+        dest = flat_offsets[sel][:, None] + np.arange(int(b))
+        data[dest.reshape(-1)] = packed.reshape(-1)
+
+    if int(block_starts[-1]) >= 2**32:
+        raise ValueError("column too large: block start offsets exceed 32 bits")
+    return data, block_starts.astype(np.uint32), bits
+
+
+def unpack_blocks(
+    data: np.ndarray,
+    block_starts: np.ndarray,
+    first_block: int,
+    last_block: int,
+    add_reference: bool = True,
+) -> np.ndarray:
+    """Decode blocks ``[first_block, last_block)`` packed by :func:`pack_blocks`.
+
+    Args:
+        add_reference: when False, return the raw packed diffs (used by
+            the cascading baseline, which adds references in a later
+            kernel pass).
+
+    Returns:
+        int64 array of ``(last_block - first_block) * 128`` values.
+    """
+    n = last_block - first_block
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.asarray(block_starts, dtype=np.int64)[first_block : last_block + 1]
+    references = data[starts[:-1]].view(np.int32).astype(np.int64)
+    bw_words = data[starts[:-1] + 1]
+    bits = np.stack(
+        [(bw_words >> (8 * j)) & 0xFF for j in range(MINIBLOCKS_PER_BLOCK)],
+        axis=1,
+    ).astype(np.int64)
+
+    mini_words = np.concatenate(
+        [np.zeros((n, 1), dtype=np.int64), np.cumsum(bits[:, :-1], axis=1)], axis=1
+    )
+    mini_offsets = starts[:-1, None] + BLOCK_HEADER_WORDS + mini_words
+
+    out = np.empty((n * MINIBLOCKS_PER_BLOCK, MINIBLOCK), dtype=np.int64)
+    flat_bits = bits.reshape(-1)
+    flat_offsets = mini_offsets.reshape(-1)
+    for b in np.unique(flat_bits):
+        sel = np.flatnonzero(flat_bits == b)
+        if b == 0:
+            out[sel] = 0
+            continue
+        src = flat_offsets[sel][:, None] + np.arange(int(b))
+        words = data[src.reshape(-1)]
+        vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
+        out[sel] = vals.reshape(sel.size, MINIBLOCK).astype(np.int64)
+
+    decoded = out.reshape(n, BLOCK)
+    if add_reference:
+        decoded = decoded + references[:, None]
+    return decoded.reshape(-1)
+
+
+class GpuFor(TileCodec):
+    """The paper's GPU-FOR scheme (Section 4)."""
+
+    name = "gpu-for"
+    block_elements = BLOCK
+
+    def __init__(self, d_blocks: int = 4):
+        if d_blocks < 1:
+            raise ValueError(f"d_blocks must be >= 1, got {d_blocks}")
+        self._d_blocks = d_blocks
+
+    # -- ColumnCodec --------------------------------------------------------
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        padded = _pad_to_blocks(values.astype(np.int64))
+        data, block_starts, bits = pack_blocks(padded)
+        header = np.array([values.size, BLOCK, MINIBLOCKS_PER_BLOCK], dtype=np.uint32)
+        return EncodedColumn(
+            codec=self.name,
+            count=values.size,
+            arrays={"header": header, "block_starts": block_starts, "data": data},
+            meta={"d_blocks": self._d_blocks, "mean_bits": float(bits.mean()) if bits.size else 0.0},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        n_blocks = enc.arrays["block_starts"].size - 1
+        full = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], 0, n_blocks)
+        return full[: enc.count].astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        decoded_bytes = enc.count * 4
+        starts, lengths = self.tile_segments(enc)
+        return [
+            CascadePass(
+                name="unpack-bits",
+                read_bytes=0,
+                write_bytes=decoded_bytes,
+                compute_ops=int(enc.count * 7),
+                read_segments=(starts, lengths),
+            ),
+            CascadePass(
+                name="add-reference",
+                read_bytes=decoded_bytes,
+                write_bytes=decoded_bytes,
+                compute_ops=int(enc.count * 2),
+                gathers=(self._num_blocks(enc), 4),
+            ),
+        ]
+
+    # -- TileCodec ----------------------------------------------------------
+
+    def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        d = self.d_blocks(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tile_idx * d
+        last = min(first + d, n_blocks)
+        if not 0 <= first < n_blocks:
+            raise IndexError(f"tile {tile_idx} out of range")
+        vals = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], first, last)
+        # Trim padding on the final tile.
+        end = min((first + d) * BLOCK, enc.count) - first * BLOCK
+        return vals[:end].astype(enc.dtype)
+
+    def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        d = self.d_blocks(enc)
+        starts_arr = enc.arrays["block_starts"].astype(np.int64)
+        n_blocks = starts_arr.size - 1
+        tile_first = np.arange(0, n_blocks, d, dtype=np.int64)
+        tile_last = np.minimum(tile_first + d, n_blocks)
+        data_start = starts_arr[tile_first] * 4
+        data_len = (starts_arr[tile_last] - starts_arr[tile_first]) * 4
+        # Each tile also reads D+1 block_starts entries; model the
+        # block_starts array as living after the data array so segments
+        # do not alias.
+        base = int(starts_arr[-1]) * 4
+        bs_start = base + tile_first * 4
+        bs_len = (tile_last - tile_first + 1) * 4
+        return (
+            np.concatenate([data_start, bs_start]),
+            np.concatenate([data_len, bs_len]),
+        )
+
+    def kernel_resources(self, enc: EncodedColumn) -> KernelResources:
+        d = self.d_blocks(enc)
+        return KernelResources(
+            registers_per_thread=12 + 2 * d,
+            shared_mem_per_block=d * BLOCK * 4 + 256,
+            compute_ops_per_element=7.0,
+            tile_prologue_ops=5500.0,
+            shared_bytes_per_element=8.0,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _num_blocks(enc: EncodedColumn) -> int:
+        return enc.arrays["block_starts"].size - 1

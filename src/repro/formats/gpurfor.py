@@ -1,0 +1,268 @@
+"""GPU-RFOR: run-length encoding + FOR + bit-packing (paper Section 6).
+
+The column is partitioned into **blocks of 512 logical integers** and RLE
+is applied to each block independently, producing a values array and a
+run-lengths array per block.  Both arrays are FOR + miniblock-bit-packed
+(the ragged generalization of the GPU-FOR block format) and stored as two
+separate streams; the run count of each block is extra per-block metadata.
+
+Because every block's runs and lengths decode independently, one thread
+block can load both compressed blocks into shared memory, bit-unpack them,
+and expand the runs with two scatters and two block-wide prefix sums
+(the four steps of Fang et al. [18]) — a single global-memory pass.
+
+GPU-RFOR needs twice the shared memory and registers of GPU-DFOR (two
+input streams), which the kernel resources below reflect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    CascadePass,
+    EncodedColumn,
+    KernelResources,
+    TileCodec,
+)
+from repro.formats.ragged import RaggedPacked, pack_ragged, unpack_ragged
+
+#: Logical values per RFOR block (Section 6).
+RFOR_BLOCK = 512
+
+
+def run_length_encode(values: np.ndarray, block: int = RFOR_BLOCK):
+    """Split ``values`` into runs that never cross block boundaries.
+
+    Returns:
+        ``(run_values, run_lengths, runs_per_block)`` covering the input
+        exactly; ``values.size`` must be a multiple of ``block``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.size
+    if n % block:
+        raise ValueError(f"run_length_encode needs a multiple of {block} values")
+    if n == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(values[1:], values[:-1], out=is_start[1:])
+    is_start[::block] = True
+    starts = np.flatnonzero(is_start)
+    run_values = values[starts]
+    run_lengths = np.diff(np.append(starts, n))
+    runs_per_block = np.bincount(starts // block, minlength=n // block)
+    return run_values, run_lengths, runs_per_block
+
+
+class GpuRFor(TileCodec):
+    """The paper's GPU-RFOR scheme (Section 6)."""
+
+    name = "gpu-rfor"
+    block_elements = RFOR_BLOCK
+
+    def __init__(self, d_blocks: int = 1):
+        if d_blocks < 1:
+            raise ValueError(f"d_blocks must be >= 1, got {d_blocks}")
+        self._d_blocks = d_blocks
+
+    # -- ColumnCodec --------------------------------------------------------
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        n = v.size
+        if n:
+            pad = (-n) % RFOR_BLOCK
+            if pad:
+                # Padding with the last value merely extends the final run.
+                v = np.concatenate([v, np.full(pad, v[-1], dtype=np.int64)])
+        run_values, run_lengths, runs_per_block = run_length_encode(v)
+        if runs_per_block.size:
+            vals_packed = pack_ragged(run_values, runs_per_block)
+            lens_packed = pack_ragged(run_lengths, runs_per_block)
+        else:
+            vals_packed = pack_ragged(run_values, runs_per_block)
+            lens_packed = pack_ragged(run_lengths, runs_per_block)
+        header = np.array([n, RFOR_BLOCK], dtype=np.uint32)
+        return EncodedColumn(
+            codec=self.name,
+            count=n,
+            arrays={
+                "header": header,
+                "run_counts": runs_per_block.astype(np.uint32),
+                "values_starts": vals_packed.block_starts,
+                "values_data": vals_packed.data,
+                "lengths_starts": lens_packed.block_starts,
+                "lengths_data": lens_packed.data,
+            },
+            meta={
+                "d_blocks": self._d_blocks,
+                "avg_run_length": float(n / max(1, run_values.size)),
+            },
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        if enc.count == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        run_values, run_lengths = self._decode_runs(enc, 0, self._num_blocks(enc))
+        out = np.repeat(run_values, run_lengths)
+        return out[: enc.count].astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        """Eight kernel passes (Section 9.2): FOR+BitPack for both streams,
+        then the four RLE expansion steps of Fang et al."""
+        n_runs = int(enc.arrays["run_counts"].astype(np.int64).sum())
+        runs_bytes = n_runs * 4
+        decoded_bytes = enc.count * 4
+        n_blocks = self._num_blocks(enc)
+        vstarts, vlens = self._stream_segments(enc, "values")
+        lstarts, llens = self._stream_segments(enc, "lengths")
+        passes = []
+        for stream, (starts, lengths) in (
+            ("values", (vstarts, vlens)),
+            ("lengths", (lstarts, llens)),
+        ):
+            passes.append(
+                CascadePass(
+                    name=f"unpack-{stream}",
+                    read_bytes=0,
+                    write_bytes=runs_bytes,
+                    compute_ops=n_runs * 7,
+                    read_segments=(starts, lengths),
+                )
+            )
+            passes.append(
+                CascadePass(
+                    name=f"add-reference-{stream}",
+                    read_bytes=runs_bytes,
+                    write_bytes=runs_bytes,
+                    compute_ops=n_runs * 2,
+                    gathers=(n_blocks, 4),
+                )
+            )
+        passes.extend(
+            [
+                CascadePass(
+                    name="scan-lengths",
+                    read_bytes=2 * runs_bytes,
+                    write_bytes=runs_bytes,
+                    compute_ops=n_runs * 4,
+                ),
+                CascadePass(
+                    name="scatter-flags",
+                    read_bytes=runs_bytes,
+                    write_bytes=decoded_bytes,
+                    compute_ops=n_runs * 2,
+                    scatters=(n_runs, 4, decoded_bytes),
+                ),
+                CascadePass(
+                    name="scan-flags",
+                    read_bytes=2 * decoded_bytes,
+                    write_bytes=decoded_bytes,
+                    compute_ops=enc.count * 4,
+                ),
+                CascadePass(
+                    name="gather-values",
+                    read_bytes=decoded_bytes,
+                    write_bytes=decoded_bytes,
+                    compute_ops=enc.count * 2,
+                    gathers=(n_runs, 4, runs_bytes),
+                ),
+            ]
+        )
+        return passes
+
+    # -- TileCodec ----------------------------------------------------------
+
+    def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        d = self.d_blocks(enc)
+        n_blocks = self._num_blocks(enc)
+        first = tile_idx * d
+        last = min(first + d, n_blocks)
+        if not 0 <= first < n_blocks:
+            raise IndexError(f"tile {tile_idx} out of range")
+        run_values, run_lengths = self._decode_runs(enc, first, last)
+        # The device function's expansion: Fang et al.'s four block-wide
+        # steps (scan, scatter, max-scan, gather) in shared memory.
+        from repro.engine.primitives import block_rle_expand
+
+        out = block_rle_expand(run_values, run_lengths)
+        end = min((first + d) * RFOR_BLOCK, enc.count) - first * RFOR_BLOCK
+        return out[:end].astype(enc.dtype)
+
+    def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        d = self.d_blocks(enc)
+        vstarts_arr = enc.arrays["values_starts"].astype(np.int64)
+        lstarts_arr = enc.arrays["lengths_starts"].astype(np.int64)
+        n_blocks = vstarts_arr.size - 1
+        tile_first = np.arange(0, n_blocks, d, dtype=np.int64)
+        tile_last = np.minimum(tile_first + d, n_blocks)
+
+        # Lay the four physical arrays out back to back so segments from
+        # different arrays never alias.
+        v_bytes = int(vstarts_arr[-1]) * 4
+        l_base = v_bytes
+        l_bytes = int(lstarts_arr[-1]) * 4
+        meta_base = l_base + l_bytes
+
+        segs = [
+            (vstarts_arr[tile_first] * 4, (vstarts_arr[tile_last] - vstarts_arr[tile_first]) * 4),
+            (l_base + lstarts_arr[tile_first] * 4, (lstarts_arr[tile_last] - lstarts_arr[tile_first]) * 4),
+            # block starts (both streams) + run counts, read per tile.
+            (meta_base + tile_first * 4, (tile_last - tile_first + 1) * 4),
+            (meta_base + (n_blocks + 1) * 4 + tile_first * 4, (tile_last - tile_first + 1) * 4),
+            (meta_base + 2 * (n_blocks + 1) * 4 + tile_first * 4, (tile_last - tile_first) * 4),
+        ]
+        return (
+            np.concatenate([s for s, _ in segs]),
+            np.concatenate([l for _, l in segs]),
+        )
+
+    def kernel_resources(self, enc: EncodedColumn) -> KernelResources:
+        d = self.d_blocks(enc)
+        # Two compressed streams staged plus the 512-entry decode buffer:
+        # twice GPU-DFOR's footprint (Section 6).
+        return KernelResources(
+            registers_per_thread=18 + 4 * d,
+            shared_mem_per_block=d * RFOR_BLOCK * 4 * 2 + 512,
+            compute_ops_per_element=25.0,
+            tile_prologue_ops=8000.0,
+            shared_bytes_per_element=48.0,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _decode_runs(
+        self, enc: EncodedColumn, first: int, last: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        counts = enc.arrays["run_counts"]
+        vals_packed = RaggedPacked(
+            data=enc.arrays["values_data"],
+            block_starts=enc.arrays["values_starts"],
+            counts=counts,
+        )
+        lens_packed = RaggedPacked(
+            data=enc.arrays["lengths_data"],
+            block_starts=enc.arrays["lengths_starts"],
+            counts=counts,
+        )
+        run_values, _ = unpack_ragged(vals_packed, first, last)
+        run_lengths, _ = unpack_ragged(lens_packed, first, last)
+        return run_values, run_lengths
+
+    def _num_blocks(self, enc: EncodedColumn) -> int:
+        return enc.arrays["run_counts"].size
+
+    def _stream_segments(self, enc: EncodedColumn, stream: str):
+        starts_arr = enc.arrays[f"{stream}_starts"].astype(np.int64)
+        n_blocks = starts_arr.size - 1
+        first = np.arange(n_blocks, dtype=np.int64)
+        return starts_arr[first] * 4, (starts_arr[first + 1] - starts_arr[first]) * 4

@@ -1,0 +1,63 @@
+"""Serialization of encoded columns to/from ``.npz`` files.
+
+A column store needs to persist its compressed columns; the format here
+is a plain NumPy archive containing the encoded column's physical arrays
+plus a small JSON metadata blob (codec name, count, dtype, scheme
+parameters), so the on-disk bytes are exactly the simulated device bytes
+plus O(1) metadata.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import numpy as np
+
+from repro.formats.base import EncodedColumn
+
+#: Archive key holding the JSON metadata.
+_META_KEY = "__repro_meta__"
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def save_encoded(enc: EncodedColumn, path: str | os.PathLike | io.IOBase) -> None:
+    """Write an encoded column to ``path`` (``.npz``)."""
+    meta = {
+        "version": FORMAT_VERSION,
+        "codec": enc.codec,
+        "count": enc.count,
+        "dtype": np.dtype(enc.dtype).str,
+        "meta": enc.meta,
+    }
+    payload = {name: arr for name, arr in enc.arrays.items()}
+    if _META_KEY in payload:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_encoded(path: str | os.PathLike | io.IOBase) -> EncodedColumn:
+    """Read an encoded column written by :func:`save_encoded`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError("not a repro encoded-column file (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {meta.get('version')!r}"
+            )
+        arrays = {
+            name: archive[name] for name in archive.files if name != _META_KEY
+        }
+    return EncodedColumn(
+        codec=meta["codec"],
+        count=int(meta["count"]),
+        arrays=arrays,
+        meta=meta["meta"],
+        dtype=np.dtype(meta["dtype"]),
+    )

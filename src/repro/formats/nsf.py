@@ -1,0 +1,71 @@
+"""NSF: null suppression with fixed-length byte-aligned packing.
+
+The whole column is stored with 1, 2, or 4 bytes per value, chosen by the
+widest value present (Fang et al. [18]; the paper's Section 9.2 baseline).
+Its decompression-time staircase in Figure 7a comes directly from that
+1/2/4-byte choice.  Negative values force the 4-byte width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+
+_WIDTH_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32}
+
+
+def nsf_width(values: np.ndarray) -> int:
+    """Bytes per value NSF picks: 1, 2, or 4."""
+    if values.size == 0:
+        return 1
+    lo = int(values.min())
+    hi = int(values.max())
+    if lo < 0 or hi >= 2**32:
+        if not (-(2**31) <= lo and hi < 2**31):
+            raise ValueError("values do not fit in 32 bits")
+        return 4
+    if hi < 2**8:
+        return 1
+    if hi < 2**16:
+        return 2
+    return 4
+
+
+class Nsf(ColumnCodec):
+    """Fixed-width null suppression (byte-aligned)."""
+
+    name = "nsf"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        width = nsf_width(values)
+        if width == 4 and values.size and int(values.min()) < 0:
+            data = values.astype(np.int32).view(np.uint32)
+        else:
+            data = values.astype(_WIDTH_DTYPES[width])
+        return EncodedColumn(
+            codec=self.name,
+            count=values.size,
+            arrays={"data": data},
+            meta={"width": width, "signed": bool(values.size and int(values.min()) < 0)},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        data = enc.arrays["data"]
+        if enc.meta.get("signed"):
+            return data.view(np.int32).astype(enc.dtype)
+        return data.astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        return [
+            CascadePass(
+                name="widen",
+                read_bytes=enc.nbytes,
+                write_bytes=enc.count * 4,
+                compute_ops=enc.count,
+            )
+        ]

@@ -1,0 +1,95 @@
+"""NSV: null suppression with variable-length byte-aligned packing.
+
+Each value is stored with 1, 2, 3, or 4 bytes; a separate 2-bits-per-value
+length array records the choice (Fang et al. [18]).  NSV adapts to skew
+better than NSF but decodes poorly: finding value offsets needs a prefix
+sum over the lengths and the payload reads are unaligned gathers, which is
+why it is the slowest scheme in Figure 8(f).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+from repro.formats.gpufor import bit_length
+
+
+class Nsv(ColumnCodec):
+    """Variable-width null suppression (byte-aligned)."""
+
+    name = "nsv"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        if v.size and (v.min() < 0 or v.max() >= 2**32):
+            raise ValueError("NSV requires values in [0, 2**32)")
+        widths = np.maximum(1, -(-bit_length(v) // 8)).astype(np.int64)
+
+        offsets = np.zeros(v.size + 1, dtype=np.int64)
+        np.cumsum(widths, out=offsets[1:])
+        data = np.zeros(int(offsets[-1]), dtype=np.uint8)
+        as_bytes = v.astype("<u4").view(np.uint8).reshape(-1, 4) if v.size else np.zeros((0, 4), np.uint8)
+        for byte_idx in range(4):
+            sel = np.flatnonzero(widths > byte_idx)
+            data[offsets[sel] + byte_idx] = as_bytes[sel, byte_idx]
+
+        # 2 bits per value encode width-1.
+        length_codes = (widths - 1).astype(np.uint8)
+        pad = (-v.size) % 4
+        if pad:
+            length_codes = np.concatenate([length_codes, np.zeros(pad, np.uint8)])
+        quads = length_codes.reshape(-1, 4)
+        length_bytes = (
+            quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
+        ).astype(np.uint8)
+
+        return EncodedColumn(
+            codec=self.name,
+            count=values.size,
+            arrays={"data": data, "lengths": length_bytes},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        n = enc.count
+        if n == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        length_bytes = enc.arrays["lengths"]
+        quads = np.stack(
+            [(length_bytes >> (2 * j)) & 0b11 for j in range(4)], axis=1
+        ).reshape(-1)[:n]
+        widths = quads.astype(np.int64) + 1
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(widths, out=offsets[1:])
+
+        data = enc.arrays["data"]
+        out_bytes = np.zeros((n, 4), dtype=np.uint8)
+        for byte_idx in range(4):
+            sel = np.flatnonzero(widths > byte_idx)
+            out_bytes[sel, byte_idx] = data[offsets[sel] + byte_idx]
+        return out_bytes.reshape(-1).view("<u4").astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        n = enc.count
+        lengths_bytes = enc.arrays["lengths"].nbytes
+        return [
+            # Prefix sum over the 2-bit lengths to locate each value.
+            CascadePass(
+                name="scan-lengths",
+                read_bytes=2 * lengths_bytes,
+                write_bytes=n * 4,
+                compute_ops=n * 4,
+            ),
+            # Unaligned per-value gathers from the byte stream.
+            CascadePass(
+                name="gather-decode",
+                read_bytes=n * 4,
+                write_bytes=n * 4,
+                compute_ops=n * 3,
+                gathers=(n, 4),
+            ),
+        ]

@@ -1,0 +1,207 @@
+"""PFOR: patched frame-of-reference (Zukowski et al., paper Section 2.2).
+
+PFOR packs a block of integers with a bitwidth ``b`` chosen so the
+*majority* fit, and stores the rest — the exceptions — uncompressed at the
+end of the block with their positions.  Against GPU-FOR's miniblocks this
+is the other classic answer to skew: GPU-FOR pays a wider miniblock,
+PFOR pays a patch list.
+
+Layout per 128-value block: [reference][bitwidth | exception_count << 8]
+[packed 128 x b bits][exception positions (1 byte each, padded to words)]
+[exception values (4 bytes each)].  Exceptions' packed slots hold zero
+and are overwritten ("patched") after unpacking.
+
+Both encode and decode are vectorized across blocks (grouped by chosen
+bitwidth), matching the throughput of the other block codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import bitio
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+from repro.formats.gpufor import bit_length
+
+#: Values per block.
+PFOR_BLOCK = 128
+#: Encoded cost of one exception: 1 position byte + 4 value bytes.
+_EXCEPTION_BITS = 5 * 8
+
+
+def _best_bitwidth(diffs: np.ndarray) -> tuple[int, int]:
+    """Pick the bitwidth minimizing packed bits + patch bytes for a block.
+
+    Returns:
+        ``(bits, exception_count)``.
+    """
+    bits_arr, exc_arr = _best_bitwidths(diffs.reshape(1, -1))
+    return int(bits_arr[0]), int(exc_arr[0])
+
+
+def _best_bitwidths(blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized bitwidth choice for ``(n_blocks, PFOR_BLOCK)`` diffs."""
+    widths = bit_length(blocks)  # (nb, 128)
+    max_w = int(widths.max(initial=0))
+    candidates = np.arange(max_w + 1)
+    # exceptions at width b = how many values need more than b bits.
+    exc = (widths[:, :, None] > candidates).sum(axis=1)  # (nb, n_candidates)
+    costs = blocks.shape[1] * candidates + exc * _EXCEPTION_BITS
+    best = np.argmin(costs, axis=1)
+    return best.astype(np.int64), exc[np.arange(blocks.shape[0]), best].astype(np.int64)
+
+
+class Pfor(ColumnCodec):
+    """Patched FOR with per-block exceptions."""
+
+    name = "pfor"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        n = v.size
+        pad = (-n) % PFOR_BLOCK
+        if pad and n:
+            v = np.concatenate([v, np.full(pad, v[-1], dtype=np.int64)])
+        n_blocks = v.size // PFOR_BLOCK
+        if n_blocks == 0:
+            return EncodedColumn(
+                codec=self.name,
+                count=n,
+                arrays={
+                    "data": np.zeros(0, dtype=np.uint32),
+                    "block_starts": np.zeros(1, dtype=np.uint32),
+                },
+                dtype=values.dtype,
+            )
+
+        blocks = v.reshape(n_blocks, PFOR_BLOCK)
+        references = blocks.min(axis=1)
+        diffs = blocks - references[:, None]
+        if int(diffs.max()) >= 2**32:
+            raise ValueError("per-block value range exceeds 32 bits")
+
+        bits, exc_counts = _best_bitwidths(diffs)
+        thresholds = np.left_shift(np.int64(1), bits)[:, None]
+        exc_mask = diffs >= thresholds
+        packed_vals = np.where(exc_mask, 0, diffs)
+
+        payload_words = 4 * bits  # 128 values at b bits = 4b words
+        pos_words = -(-exc_counts // 4)
+        block_words = 2 + payload_words + pos_words + exc_counts
+        block_starts = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(block_words, out=block_starts[1:])
+        if int(block_starts[-1]) >= 2**32:
+            raise ValueError("column too large: block start offsets exceed 32 bits")
+
+        data = np.zeros(int(block_starts[-1]), dtype=np.uint32)
+        data[block_starts[:-1]] = references.astype(np.int32).view(np.uint32)
+        data[block_starts[:-1] + 1] = (bits | (exc_counts << 8)).astype(np.uint32)
+
+        # Packed payloads, grouped by bitwidth.
+        for b in np.unique(bits):
+            if b == 0:
+                continue
+            sel = np.flatnonzero(bits == b)
+            packed = bitio.pack_bits(
+                packed_vals[sel].reshape(-1).astype(np.uint64), int(b)
+            ).reshape(sel.size, int(4 * b))
+            dest = (block_starts[sel] + 2)[:, None] + np.arange(int(4 * b))
+            data[dest.reshape(-1)] = packed.reshape(-1)
+
+        # Exception positions (bytes) and values (words), per block.
+        total_exc = int(exc_counts.sum())
+        if total_exc:
+            block_of_exc, pos_in_block = np.nonzero(exc_mask)
+            exc_vals = diffs[block_of_exc, pos_in_block]
+            within = _within_group_index(exc_counts)
+
+            pos_area_start = block_starts[:-1] + 2 + payload_words  # words
+            pos_byte_index = pos_area_start[block_of_exc] * 4 + within
+            data_bytes = data.view(np.uint8)
+            data_bytes[pos_byte_index] = pos_in_block.astype(np.uint8)
+
+            val_area_start = pos_area_start + pos_words
+            data[val_area_start[block_of_exc] + within] = exc_vals.astype(np.uint32)
+
+        return EncodedColumn(
+            codec=self.name,
+            count=n,
+            arrays={
+                "data": data,
+                "block_starts": block_starts.astype(np.uint32),
+            },
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        starts = enc.arrays["block_starts"].astype(np.int64)
+        data = enc.arrays["data"]
+        n_blocks = starts.size - 1
+        if n_blocks == 0:
+            return np.zeros(0, dtype=enc.dtype)
+
+        references = data[starts[:-1]].view(np.int32).astype(np.int64)
+        meta = data[starts[:-1] + 1].astype(np.int64)
+        bits = meta & 0xFF
+        exc_counts = meta >> 8
+        payload_words = 4 * bits
+        pos_words = -(-exc_counts // 4)
+
+        out = np.empty((n_blocks, PFOR_BLOCK), dtype=np.int64)
+        for b in np.unique(bits):
+            sel = np.flatnonzero(bits == b)
+            if b == 0:
+                out[sel] = 0
+                continue
+            src = (starts[:-1][sel] + 2)[:, None] + np.arange(int(4 * b))
+            words = data[src.reshape(-1)]
+            vals = bitio.unpack_bits(words, sel.size * PFOR_BLOCK, int(b))
+            out[sel] = vals.reshape(sel.size, PFOR_BLOCK).astype(np.int64)
+
+        total_exc = int(exc_counts.sum())
+        if total_exc:
+            block_of_exc = np.repeat(np.arange(n_blocks), exc_counts)
+            within = _within_group_index(exc_counts)
+            pos_area_start = starts[:-1] + 2 + payload_words
+            data_bytes = data.view(np.uint8)
+            positions = data_bytes[
+                pos_area_start[block_of_exc] * 4 + within
+            ].astype(np.int64)
+            val_area_start = pos_area_start + pos_words
+            exc_vals = data[val_area_start[block_of_exc] + within].astype(np.int64)
+            out[block_of_exc, positions] = exc_vals  # the patch step
+
+        decoded = (out + references[:, None]).reshape(-1)
+        return decoded[: enc.count].astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        n = enc.count
+        return [
+            CascadePass(
+                name="unpack-bits",
+                read_bytes=enc.nbytes,
+                write_bytes=n * 4,
+                compute_ops=n * 7,
+            ),
+            # Patching is a scattered read-modify-write of the exceptions.
+            CascadePass(
+                name="patch-exceptions",
+                read_bytes=n * 4,
+                write_bytes=n * 4,
+                compute_ops=n * 2,
+                scatters=(max(1, n // 16), 4, n * 4),
+            ),
+        ]
+
+
+def _within_group_index(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)

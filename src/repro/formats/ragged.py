@@ -1,0 +1,214 @@
+"""FOR + miniblock bit-packing for *ragged* blocks.
+
+GPU-RFOR compresses a variable number of runs per 512-value block, so its
+physical layout is the GPU-FOR block format generalized to a variable
+miniblock count: per block a reference word, ``ceil(miniblocks/4)``
+bitwidth words (one byte per miniblock), then the packed miniblocks of 32
+values each.  This module implements that generalized packer/unpacker,
+fully vectorized across blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats import bitio
+from repro.formats.gpufor import MINIBLOCK, bit_length
+
+
+@dataclass
+class RaggedPacked:
+    """Result of :func:`pack_ragged`."""
+
+    #: Packed words: per block [reference][bw words][miniblock words...].
+    data: np.ndarray
+    #: Word offset of each block (with end sentinel, ``n_blocks + 1``).
+    block_starts: np.ndarray
+    #: Real (unpadded) value count per block.
+    counts: np.ndarray
+
+
+def _pad_counts(counts: np.ndarray) -> np.ndarray:
+    """Padded per-block count: round up to whole miniblocks (min one)."""
+    return np.maximum(-(-counts // MINIBLOCK), 1) * MINIBLOCK
+
+
+def pack_ragged(values: np.ndarray, counts: np.ndarray) -> RaggedPacked:
+    """FOR + bit-pack per-block value groups of varying size.
+
+    Args:
+        values: all blocks' values concatenated (int64, any sign).
+        counts: number of values in each block; ``sum(counts) == len(values)``.
+            Every count must be at least 1.
+
+    Returns:
+        A :class:`RaggedPacked` with the block-structured stream.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size and counts.min() < 1:
+        raise ValueError("every block must contain at least one value")
+    if int(counts.sum()) != values.size:
+        raise ValueError("counts do not sum to len(values)")
+    n_blocks = counts.size
+    if n_blocks == 0:
+        return RaggedPacked(
+            data=np.zeros(0, dtype=np.uint32),
+            block_starts=np.zeros(1, dtype=np.uint32),
+            counts=counts.astype(np.uint32),
+        )
+
+    block_of_value = np.repeat(np.arange(n_blocks), counts)
+    value_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(counts, out=value_offsets[1:])
+
+    references = np.minimum.reduceat(values, value_offsets[:-1])
+    if int((values - references[block_of_value]).max(initial=0)) >= 2**32:
+        raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
+
+    # Build the padded flat array: each block rounded up to miniblocks,
+    # padding with the block's own first value (never widens the range).
+    padded_counts = _pad_counts(counts)
+    padded_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(padded_counts, out=padded_offsets[1:])
+    total_padded = int(padded_offsets[-1])
+    padded = np.repeat(values[value_offsets[:-1]], padded_counts)
+    dest = np.repeat(padded_offsets[:-1] - value_offsets[:-1], counts) + np.arange(
+        values.size
+    )
+    padded[dest] = values
+    diffs = padded - np.repeat(references, padded_counts)
+
+    minis = diffs.reshape(-1, MINIBLOCK)
+    bits = bit_length(minis.max(axis=1)).astype(np.int64)
+    minis_per_block = padded_counts // MINIBLOCK
+    mini_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(minis_per_block, out=mini_offsets[1:])
+
+    bw_words_per_block = -(-minis_per_block // 4)
+    block_data_words = np.add.reduceat(bits, mini_offsets[:-1])
+    block_words = 1 + bw_words_per_block + block_data_words
+    block_starts = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(block_words, out=block_starts[1:])
+    if int(block_starts[-1]) >= 2**32:
+        raise ValueError("column too large: block start offsets exceed 32 bits")
+
+    data = np.zeros(int(block_starts[-1]), dtype=np.uint32)
+    data[block_starts[:-1]] = references.astype(np.int32).view(np.uint32)
+
+    # Bitwidth bytes, one per miniblock, padded to whole words per block.
+    bw_byte_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(bw_words_per_block * 4, out=bw_byte_offsets[1:])
+    bw_bytes = np.zeros(int(bw_byte_offsets[-1]), dtype=np.uint8)
+    mini_block_of = np.repeat(np.arange(n_blocks), minis_per_block)
+    within = np.arange(bits.size) - mini_offsets[mini_block_of]
+    bw_bytes[bw_byte_offsets[mini_block_of] + within] = bits
+    bw_as_words = bw_bytes.view("<u4").astype(np.uint32)
+    # Scatter the bw words right after each reference word.
+    bw_word_idx = np.repeat(
+        block_starts[:-1] + 1, bw_words_per_block
+    ) + (
+        np.arange(bw_as_words.size)
+        - np.repeat(bw_byte_offsets[:-1] // 4, bw_words_per_block)
+    )
+    data[bw_word_idx] = bw_as_words
+
+    # Word offset of each miniblock: block payload start + prior minis' bits.
+    c = np.cumsum(bits)
+    prior_bits = c - bits
+    block_prior = prior_bits[mini_offsets[:-1]]
+    mini_word_off = (
+        np.repeat(block_starts[:-1] + 1 + bw_words_per_block, minis_per_block)
+        + prior_bits
+        - np.repeat(block_prior, minis_per_block)
+    )
+
+    flat = minis.astype(np.uint64)
+    for b in np.unique(bits):
+        if b == 0:
+            continue
+        sel = np.flatnonzero(bits == b)
+        packed = bitio.pack_bits(flat[sel].reshape(-1), int(b)).reshape(sel.size, int(b))
+        dest_idx = mini_word_off[sel][:, None] + np.arange(int(b))
+        data[dest_idx.reshape(-1)] = packed.reshape(-1)
+
+    return RaggedPacked(
+        data=data,
+        block_starts=block_starts.astype(np.uint32),
+        counts=counts.astype(np.uint32),
+    )
+
+
+def unpack_ragged(
+    packed: RaggedPacked, first_block: int = 0, last_block: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode blocks ``[first_block, last_block)`` of a ragged stream.
+
+    Returns:
+        ``(values, counts)`` — the decoded values of those blocks
+        concatenated, and the per-block counts (real, unpadded).
+    """
+    counts_all = packed.counts.astype(np.int64)
+    n_total = counts_all.size
+    if last_block is None:
+        last_block = n_total
+    if not 0 <= first_block <= last_block <= n_total:
+        raise IndexError(f"block range [{first_block}, {last_block}) out of bounds")
+    counts = counts_all[first_block:last_block]
+    n_blocks = counts.size
+    if n_blocks == 0:
+        return np.zeros(0, dtype=np.int64), counts
+
+    starts = packed.block_starts.astype(np.int64)[first_block : last_block + 1]
+    data = packed.data
+    references = data[starts[:-1]].view(np.int32).astype(np.int64)
+
+    padded_counts = _pad_counts(counts)
+    minis_per_block = padded_counts // MINIBLOCK
+    bw_words_per_block = -(-minis_per_block // 4)
+    mini_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(minis_per_block, out=mini_offsets[1:])
+    total_minis = int(mini_offsets[-1])
+    mini_block_of = np.repeat(np.arange(n_blocks), minis_per_block)
+
+    # Gather bitwidth bytes per miniblock.
+    within = np.arange(total_minis) - mini_offsets[mini_block_of]
+    bw_word_idx = starts[:-1][mini_block_of] + 1 + within // 4
+    bits = ((data[bw_word_idx] >> ((within % 4) * 8)) & 0xFF).astype(np.int64)
+
+    c = np.cumsum(bits)
+    prior_bits = c - bits
+    block_prior = prior_bits[mini_offsets[:-1]]
+    mini_word_off = (
+        (starts[:-1] + 1 + bw_words_per_block)[mini_block_of]
+        + prior_bits
+        - block_prior[mini_block_of]
+    )
+
+    out = np.empty((total_minis, MINIBLOCK), dtype=np.int64)
+    for b in np.unique(bits):
+        sel = np.flatnonzero(bits == b)
+        if b == 0:
+            out[sel] = 0
+            continue
+        src = mini_word_off[sel][:, None] + np.arange(int(b))
+        words = data[src.reshape(-1)]
+        vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
+        out[sel] = vals.reshape(sel.size, MINIBLOCK).astype(np.int64)
+
+    padded_values = out.reshape(-1) + np.repeat(references, padded_counts)
+    # Drop per-block padding.
+    padded_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(padded_counts, out=padded_offsets[1:])
+    keep = np.repeat(padded_offsets[:-1], counts) + _within_block_index(counts)
+    return padded_values[keep], counts
+
+
+def _within_block_index(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated."""
+    total = int(counts.sum())
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total) - np.repeat(offsets, counts)

@@ -1,0 +1,71 @@
+"""Codec registry: look up compression schemes by name.
+
+The experiment harnesses, the planner, and the hybrid GPU-* chooser all
+refer to codecs by their string names; this module is the single place
+that maps names to implementations.
+"""
+
+from __future__ import annotations
+
+from repro.formats.base import ColumnCodec, TileCodec
+from repro.formats.delta import Delta
+from repro.formats.dictionary import Dict
+from repro.formats.gpubp import GpuBp
+from repro.formats.gpudfor import GpuDFor
+from repro.formats.gpufor import GpuFor
+from repro.formats.gpurfor import GpuRFor
+from repro.formats.nsf import Nsf
+from repro.formats.nsv import Nsv
+from repro.formats.pfor import Pfor
+from repro.formats.simple8b import Simple8b
+from repro.formats.rle import Rle
+from repro.formats.simdbp128 import GpuSimdBp128
+from repro.formats.vbyte import GpuVByte
+
+_CODECS: dict[str, type[ColumnCodec]] = {
+    cls.name: cls
+    for cls in (
+        GpuFor,
+        GpuDFor,
+        GpuRFor,
+        GpuBp,
+        GpuSimdBp128,
+        GpuVByte,
+        Nsf,
+        Nsv,
+        Pfor,
+        Rle,
+        Simple8b,
+        Delta,
+        Dict,
+    )
+}
+
+
+def codec_names() -> list[str]:
+    """All registered codec names, sorted."""
+    return sorted(_CODECS)
+
+
+def get_codec(name: str, **kwargs) -> ColumnCodec:
+    """Instantiate the codec registered under ``name``.
+
+    Args:
+        name: a registry name such as ``"gpu-for"``.
+        **kwargs: forwarded to the codec constructor (e.g. ``d_blocks``).
+
+    Raises:
+        KeyError: if no codec is registered under ``name``.
+    """
+    try:
+        cls = _CODECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {', '.join(codec_names())}"
+        ) from None
+    return cls(**kwargs)
+
+
+def is_tile_codec(name: str) -> bool:
+    """Whether the named codec satisfies the Section 3 tile properties."""
+    return issubclass(_CODECS[name], TileCodec)

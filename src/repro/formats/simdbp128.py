@@ -1,0 +1,164 @@
+"""GPU-SIMDBP128: vertical-layout bit-packing (the Section 4.3 ablation).
+
+Translating SIMD-BP128's vertical (striped) layout to the GPU maps each of
+a warp's 32 threads to one lane; for every thread's lane to end on a
+32-bit word boundary each lane must hold 32 values, so with a 128-thread
+block the block size balloons to 32 * 128 = **4096 values** encoded with a
+single bitwidth (one skewed value inflates the whole block — the
+compression downside the paper notes).
+
+Decoding needs 32 packed words plus 32 outputs live per thread, far past
+the register budget: occupancy collapses and registers spill, which is
+why GPU-SIMDBP128 decodes 2.7x slower than GPU-FOR and runs SSB q1.1 14x
+slower.  The kernel resources below encode exactly that pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import bitio
+from repro.formats.base import (
+    CascadePass,
+    EncodedColumn,
+    KernelResources,
+    TileCodec,
+)
+from repro.formats.gpufor import bit_length
+
+#: Values per vertical block: 32 lanes x 128 values... laid out for a
+#: 128-thread block where each thread owns a 32-value lane.
+VBLOCK = 4096
+#: Vertical lanes (warp width).
+LANES = 32
+#: Words of per-block metadata (reference + bitwidth).
+_HEADER_WORDS = 2
+
+
+class GpuSimdBp128(TileCodec):
+    """Vertical-layout FOR + bit-packing with 4096-value blocks."""
+
+    name = "gpu-simdbp128"
+    block_elements = VBLOCK
+
+    def __init__(self, d_blocks: int = 1):
+        if d_blocks != 1:
+            raise ValueError("GPU-SIMDBP128 processes one 4096-value block per tile")
+        self._d_blocks = 1
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        n = v.size
+        pad = (-n) % VBLOCK
+        if pad and n:
+            v = np.concatenate([v, np.full(pad, v[-1], dtype=np.int64)])
+        n_blocks = v.size // VBLOCK
+
+        blocks = v.reshape(n_blocks, VBLOCK) if n_blocks else v.reshape(0, VBLOCK)
+        references = blocks.min(axis=1) if n_blocks else np.zeros(0, np.int64)
+        diffs = blocks - references[:, None] if n_blocks else blocks
+        if n_blocks and int(diffs.max()) >= 2**32:
+            raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
+        bits = bit_length(diffs.max(axis=1)) if n_blocks else np.zeros(0, np.int64)
+        bits = bits.astype(np.int64)
+
+        block_words = _HEADER_WORDS + bits * VBLOCK // 32
+        block_starts = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(block_words, out=block_starts[1:])
+        data = np.zeros(int(block_starts[-1]), dtype=np.uint32)
+        data[block_starts[:-1]] = references.astype(np.int32).view(np.uint32)
+        data[block_starts[:-1] + 1] = bits.astype(np.uint32)
+        for i in range(n_blocks):
+            b = int(bits[i])
+            if b == 0:
+                continue
+            packed = bitio.pack_vertical(diffs[i].astype(np.uint64), b, LANES)
+            start = int(block_starts[i]) + _HEADER_WORDS
+            data[start : start + packed.size] = packed
+
+        return EncodedColumn(
+            codec=self.name,
+            count=n,
+            arrays={
+                "header": np.array([n, VBLOCK], dtype=np.uint32),
+                "block_starts": block_starts.astype(np.uint32),
+                "data": data,
+            },
+            meta={"d_blocks": 1},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        n_blocks = enc.arrays["block_starts"].size - 1
+        parts = [self.decode_tile(enc, i) for i in range(n_blocks)]
+        if not parts:
+            return np.zeros(0, dtype=enc.dtype)
+        return np.concatenate(parts)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        starts, lengths = self.tile_segments(enc)
+        return [
+            CascadePass(
+                name="unpack-vertical",
+                read_bytes=0,
+                write_bytes=enc.count * 4,
+                compute_ops=enc.count * 9,
+                read_segments=(starts, lengths),
+            ),
+            CascadePass(
+                name="add-reference",
+                read_bytes=enc.count * 4,
+                write_bytes=enc.count * 4,
+                compute_ops=enc.count * 2,
+                gathers=(enc.arrays["block_starts"].size - 1, 4),
+            ),
+        ]
+
+    # -- TileCodec ----------------------------------------------------------
+
+    def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        starts = enc.arrays["block_starts"].astype(np.int64)
+        n_blocks = starts.size - 1
+        if not 0 <= tile_idx < n_blocks:
+            raise IndexError(f"tile {tile_idx} out of range")
+        data = enc.arrays["data"]
+        start = int(starts[tile_idx])
+        reference = int(np.int32(data[start]))
+        b = int(data[start + 1])
+        if b:
+            words = data[start + _HEADER_WORDS : int(starts[tile_idx + 1])]
+            vals = bitio.unpack_vertical(words, VBLOCK, b, LANES).astype(np.int64)
+        else:
+            vals = np.zeros(VBLOCK, dtype=np.int64)
+        vals += reference
+        end = min((tile_idx + 1) * VBLOCK, enc.count) - tile_idx * VBLOCK
+        return vals[:end].astype(enc.dtype)
+
+    def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        starts_arr = enc.arrays["block_starts"].astype(np.int64)
+        n_blocks = starts_arr.size - 1
+        first = np.arange(n_blocks, dtype=np.int64)
+        data_start = starts_arr[first] * 4
+        data_len = (starts_arr[first + 1] - starts_arr[first]) * 4
+        base = int(starts_arr[-1]) * 4
+        bs_start = base + first * 4
+        bs_len = np.full(n_blocks, 8, dtype=np.int64)
+        return (
+            np.concatenate([data_start, bs_start]),
+            np.concatenate([data_len, bs_len]),
+        )
+
+    def kernel_resources(self, enc: EncodedColumn) -> KernelResources:
+        # 32 packed words + decode state per thread: roughly 56
+        # registers over the baseline decoder state; far beyond the
+        # 64-register cap, so most of it spills (Section 4.3).
+        return KernelResources(
+            registers_per_thread=12 + 56,
+            shared_mem_per_block=VBLOCK * 4 + 256,
+            compute_ops_per_element=9.0,
+            tile_prologue_ops=5500.0,
+            shared_bytes_per_element=8.0,
+        )

@@ -1,0 +1,141 @@
+"""Simple-8b: word-aligned packing with selectors (Anh & Moffat).
+
+The 64-bit member of the Simple-N family the paper's related work covers
+(Section 2.2): each output word spends 4 bits on a *selector* naming one
+of 14 (count, bitwidth) combinations for its 60 payload bits — 60 1-bit
+values, 30 2-bit values, ... 1 60-bit value — plus two run selectors for
+240/120 consecutive zeros.  Encoding greedily packs as many of the next
+values as the widest-needed bitwidth allows.
+
+Word alignment makes decoding branch-light, but the rigid (count, width)
+menu wastes bits against bit-aligned packing — the comparison
+``repro.experiments.related_work`` quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+from repro.formats.gpufor import bit_length
+
+#: (count, bitwidth) per selector 2..15 (selectors 0/1 are zero runs).
+SELECTOR_TABLE: tuple[tuple[int, int], ...] = (
+    (60, 1), (30, 2), (20, 3), (15, 4), (12, 5), (10, 6), (8, 7),
+    (7, 8), (6, 10), (5, 12), (4, 15), (3, 20), (2, 30), (1, 60),
+)
+_ZERO_RUN_LONG = 240
+_ZERO_RUN_SHORT = 120
+_PAYLOAD_BITS = 60
+
+
+class Simple8b(ColumnCodec):
+    """64-bit word-aligned selector coding."""
+
+    name = "simple8b"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        if v.size and (v.min() < 0 or bit_length(v).max() > _PAYLOAD_BITS):
+            raise ValueError("Simple-8b requires values in [0, 2**60)")
+
+        widths = bit_length(v).astype(np.int64)
+        words: list[int] = []
+        i = 0
+        n = v.size
+        while i < n:
+            # Zero-run selectors first.
+            if v[i] == 0:
+                run = 1
+                limit = min(n - i, _ZERO_RUN_LONG)
+                while run < limit and v[i + run] == 0:
+                    run += 1
+                if run >= _ZERO_RUN_LONG:
+                    words.append(0)  # selector 0
+                    i += _ZERO_RUN_LONG
+                    continue
+                if run >= _ZERO_RUN_SHORT:
+                    words.append(1)  # selector 1
+                    i += _ZERO_RUN_SHORT
+                    continue
+            # Greedy: the densest selector whose width covers the window.
+            for selector, (count, bits) in enumerate(SELECTOR_TABLE, start=2):
+                take = min(count, n - i)
+                if take < count and selector != 15:
+                    continue  # partial fills only in the widest selector
+                window_max = int(widths[i : i + take].max())
+                if window_max <= bits:
+                    word = selector
+                    for j in range(take):
+                        word |= int(v[i + j]) << (4 + j * bits)
+                    words.append(word)
+                    i += take
+                    break
+            else:  # pragma: no cover - table covers 60 bits
+                raise AssertionError("selector table exhausted")
+
+        # Words can exceed 2**63; convert element-wise to avoid NumPy's
+        # default int64 pathway overflowing.
+        data = np.fromiter((np.uint64(w) for w in words), dtype=np.uint64, count=len(words))
+        return EncodedColumn(
+            codec=self.name,
+            count=n,
+            arrays={"data": data},
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        data = enc.arrays["data"]
+        if data.size == 0:
+            if enc.count:
+                raise ValueError("corrupt Simple-8b stream: count mismatch")
+            return np.zeros(0, dtype=enc.dtype)
+
+        selectors = (data & np.uint64(0xF)).astype(np.int64)
+        counts = np.empty(data.size, dtype=np.int64)
+        counts[selectors == 0] = _ZERO_RUN_LONG
+        counts[selectors == 1] = _ZERO_RUN_SHORT
+        packed = selectors >= 2
+        table_counts = np.array([c for c, _ in SELECTOR_TABLE], dtype=np.int64)
+        counts[packed] = table_counts[selectors[packed] - 2]
+        # The final word may be partially filled.
+        offsets = np.zeros(data.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if offsets[-1] < enc.count or (data.size > 1 and offsets[-2] >= enc.count):
+            raise ValueError("corrupt Simple-8b stream: count mismatch")
+        counts[-1] -= int(offsets[-1]) - enc.count
+
+        out = np.zeros(enc.count, dtype=np.int64)
+        for selector in np.unique(selectors[packed]):
+            count, bits = SELECTOR_TABLE[int(selector) - 2]
+            sel = np.flatnonzero(selectors == selector)
+            payloads = data[sel] >> np.uint64(4)
+            shifts = (np.arange(count, dtype=np.uint64) * np.uint64(bits))[None, :]
+            mask = np.uint64((1 << bits) - 1)
+            values = ((payloads[:, None] >> shifts) & mask).astype(np.int64)
+            dest = offsets[sel][:, None] + np.arange(count)
+            keep = dest < enc.count
+            out[dest[keep]] = values[keep]
+        return out.astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        n = enc.count
+        return [
+            # Word starts are self-describing but output offsets need a
+            # scan of per-word counts before parallel decode.
+            CascadePass(
+                name="scan-word-counts",
+                read_bytes=2 * enc.nbytes,
+                write_bytes=enc.arrays["data"].size * 4,
+                compute_ops=enc.arrays["data"].size * 4,
+            ),
+            CascadePass(
+                name="unpack-words",
+                read_bytes=enc.nbytes,
+                write_bytes=n * 4,
+                compute_ops=n * 6,
+            ),
+        ]

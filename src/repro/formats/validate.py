@@ -1,0 +1,148 @@
+"""Structural validation of encoded columns.
+
+A production column store must detect corrupt compressed data before
+decoding walks off an array, so every format gets a structural checker:
+:func:`validate_encoded` verifies the invariants the decoders rely on
+(monotone block starts, headers consistent with payload sizes, run counts
+covering blocks, ...) and raises :class:`CorruptColumnError` with a
+description of the first violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import EncodedColumn
+from repro.formats.gpufor import BLOCK, MINIBLOCKS_PER_BLOCK
+from repro.formats.gpurfor import RFOR_BLOCK
+
+
+class CorruptColumnError(ValueError):
+    """An encoded column violates its format's structural invariants."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CorruptColumnError(message)
+
+
+def _check_starts(starts: np.ndarray, data_words: int, label: str) -> None:
+    s = starts.astype(np.int64)
+    _require(s.size >= 1, f"{label}: empty block-starts array")
+    _require(bool(s[0] == 0), f"{label}: first block start must be 0")
+    _require(bool(np.all(np.diff(s) >= 0)), f"{label}: block starts not monotone")
+    _require(
+        int(s[-1]) <= data_words,
+        f"{label}: block starts point past the data array",
+    )
+
+
+def _check_gpufor_blocks(
+    data: np.ndarray, starts: np.ndarray, label: str
+) -> None:
+    s = starts.astype(np.int64)
+    n_blocks = s.size - 1
+    if n_blocks == 0:
+        return
+    bw_words = data[s[:-1] + 1]
+    widths = np.stack(
+        [(bw_words >> (8 * j)) & 0xFF for j in range(MINIBLOCKS_PER_BLOCK)], axis=1
+    ).astype(np.int64)
+    _require(bool(widths.max() <= 32), f"{label}: miniblock bitwidth exceeds 32")
+    expected = 2 + widths.sum(axis=1)
+    actual = np.diff(s)
+    _require(
+        bool(np.array_equal(expected, actual)),
+        f"{label}: block sizes disagree with bitwidth words",
+    )
+
+
+def validate_encoded(enc: EncodedColumn) -> None:
+    """Check ``enc``'s structural invariants; raises on the first violation.
+
+    Supported formats: gpu-for, gpu-dfor, gpu-rfor, gpu-bp, nsf, nsv, rle.
+    Unknown codecs only get generic checks (non-negative count, arrays
+    present).
+    """
+    _require(enc.count >= 0, "negative element count")
+    _require(bool(enc.arrays), "no physical arrays")
+
+    if enc.codec in ("gpu-for", "gpu-dfor"):
+        data = enc.arrays["data"]
+        starts = enc.arrays["block_starts"]
+        _check_starts(starts, data.size, enc.codec)
+        n_blocks = starts.size - 1
+        _require(
+            n_blocks * BLOCK >= enc.count,
+            f"{enc.codec}: blocks cover fewer than count elements",
+        )
+        _check_gpufor_blocks(data, starts, enc.codec)
+        if enc.codec == "gpu-dfor":
+            d = int(enc.meta.get("d_blocks", 4))
+            tiles = -(-n_blocks // d)
+            _require(
+                enc.arrays["first_values"].size == tiles,
+                "gpu-dfor: first_values count disagrees with tile count",
+            )
+
+    elif enc.codec == "gpu-rfor":
+        counts = enc.arrays["run_counts"].astype(np.int64)
+        _require(bool(np.all(counts >= 1)) or counts.size == 0,
+                 "gpu-rfor: block with zero runs")
+        _require(bool(np.all(counts <= RFOR_BLOCK)),
+                 "gpu-rfor: more runs than block positions")
+        _require(
+            counts.size * RFOR_BLOCK >= enc.count,
+            "gpu-rfor: blocks cover fewer than count elements",
+        )
+        for stream in ("values", "lengths"):
+            _check_starts(
+                enc.arrays[f"{stream}_starts"],
+                enc.arrays[f"{stream}_data"].size,
+                f"gpu-rfor/{stream}",
+            )
+            _require(
+                enc.arrays[f"{stream}_starts"].size - 1 == counts.size,
+                f"gpu-rfor/{stream}: stream blocks disagree with run counts",
+            )
+
+    elif enc.codec == "gpu-bp":
+        data = enc.arrays["data"]
+        starts = enc.arrays["block_starts"]
+        _check_starts(starts, data.size, "gpu-bp")
+        s = starts.astype(np.int64)
+        if s.size > 1:
+            widths = data[s[:-1]].astype(np.int64)
+            _require(bool(widths.max(initial=0) <= 32), "gpu-bp: bitwidth exceeds 32")
+            expected = 1 + widths * BLOCK // 32
+            _require(
+                bool(np.array_equal(expected, np.diff(s))),
+                "gpu-bp: block sizes disagree with bitwidths",
+            )
+
+    elif enc.codec == "nsf":
+        width = int(enc.meta.get("width", 0))
+        _require(width in (1, 2, 4), "nsf: invalid width")
+        _require(
+            enc.arrays["data"].size == enc.count,
+            "nsf: data length disagrees with count",
+        )
+
+    elif enc.codec == "nsv":
+        _require(
+            enc.arrays["lengths"].size * 4 >= enc.count,
+            "nsv: length stream too short",
+        )
+
+    elif enc.codec == "rle":
+        lengths = enc.arrays["lengths"].astype(np.int64)
+        _require(bool(np.all(lengths >= 1)) or lengths.size == 0,
+                 "rle: non-positive run length")
+        _require(
+            int(lengths.sum()) == enc.count,
+            "rle: run lengths do not sum to count",
+        )
+        _require(
+            enc.arrays["values"].size == lengths.size,
+            "rle: values/lengths misaligned",
+        )

@@ -1,0 +1,105 @@
+"""GPU-VByte: variable-byte coding with per-block offsets (Mallia et al.).
+
+Classic VByte stores each integer in 1-5 bytes of 7 payload bits plus a
+continuation bit.  It is inherently sequential — a value's position
+depends on all previous lengths — so the GPU adaptation (the second
+scheme of Mallia et al. [33], alongside GPU-BP) adds a block-start offset
+array per 128 values, letting thread blocks decode blocks independently.
+
+The paper compares against GPU-BP rather than GPU-VByte because GPU-BP
+dominates it on both ratio and speed; this implementation exists so that
+claim can be checked (see ``repro.experiments.related_work``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import CascadePass, ColumnCodec, EncodedColumn
+from repro.formats.gpufor import bit_length
+
+#: Values per block (matches GPU-BP's decode granularity).
+VBYTE_BLOCK = 128
+#: Continuation flag: high bit of each byte.
+_CONT = 0x80
+
+
+class GpuVByte(ColumnCodec):
+    """Byte-aligned varint coding with parallel-decode block offsets."""
+
+    name = "gpu-vbyte"
+
+    def encode(self, values: np.ndarray) -> EncodedColumn:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("encode expects a 1-D integer array")
+        v = values.astype(np.int64)
+        if v.size and (v.min() < 0 or v.max() >= 2**32):
+            raise ValueError("GPU-VByte requires values in [0, 2**32)")
+
+        widths = np.maximum(1, -(-bit_length(v) // 7)).astype(np.int64)
+        offsets = np.zeros(v.size + 1, dtype=np.int64)
+        np.cumsum(widths, out=offsets[1:])
+        data = np.zeros(int(offsets[-1]), dtype=np.uint8)
+        for byte_idx in range(5):
+            sel = np.flatnonzero(widths > byte_idx)
+            if sel.size == 0:
+                break
+            payload = (v[sel] >> (7 * byte_idx)) & 0x7F
+            cont = np.where(widths[sel] > byte_idx + 1, _CONT, 0)
+            data[offsets[sel] + byte_idx] = (payload | cont).astype(np.uint8)
+
+        block_byte_starts = offsets[::VBYTE_BLOCK].astype(np.int64)
+        if block_byte_starts.size == 0 or block_byte_starts[-1] != offsets[-1]:
+            block_byte_starts = np.append(block_byte_starts, offsets[-1])
+        return EncodedColumn(
+            codec=self.name,
+            count=values.size,
+            arrays={
+                "data": data,
+                "block_starts": block_byte_starts.astype(np.uint32),
+            },
+            dtype=values.dtype,
+        )
+
+    def decode(self, enc: EncodedColumn) -> np.ndarray:
+        n = enc.count
+        if n == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        data = enc.arrays["data"].astype(np.int64)
+        is_last = (data & _CONT) == 0
+        # Each value ends at a byte with a clear continuation bit.
+        ends = np.flatnonzero(is_last)
+        if ends.size != n:
+            raise ValueError("corrupt VByte stream: value count mismatch")
+        starts = np.empty(n, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = ends[:-1] + 1
+        widths = ends - starts + 1
+
+        out = np.zeros(n, dtype=np.int64)
+        for byte_idx in range(5):
+            sel = np.flatnonzero(widths > byte_idx)
+            if sel.size == 0:
+                break
+            out[sel] |= (data[starts[sel] + byte_idx] & 0x7F) << (7 * byte_idx)
+        return out.astype(enc.dtype)
+
+    def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
+        n = enc.count
+        return [
+            # Locating value boundaries needs a scan over the byte flags.
+            CascadePass(
+                name="scan-boundaries",
+                read_bytes=2 * enc.arrays["data"].nbytes,
+                write_bytes=n * 4,
+                compute_ops=n * 5,
+            ),
+            CascadePass(
+                name="gather-decode",
+                read_bytes=n * 4,
+                write_bytes=n * 4,
+                compute_ops=n * 4,
+                gathers=(n, 4, enc.arrays["data"].nbytes),
+            ),
+        ]

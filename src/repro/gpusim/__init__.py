@@ -1,0 +1,49 @@
+"""Deterministic GPU execution simulator (the reproduction's substrate).
+
+The paper measures CUDA kernels on an Nvidia V100; this package provides a
+performance model of that device: 128-byte global-memory transactions with
+32-byte sectors for uncoalesced access, a CUDA-style occupancy calculator,
+register-spill modelling, a roofline cost model, and a PCIe transfer
+model.  See DESIGN.md section 2 for why this substitution preserves the
+paper's conclusions.
+"""
+
+from repro.gpusim.executor import GPUDevice, Stopwatch, TransferRecord
+from repro.gpusim.multigpu import ShardedDevice
+from repro.gpusim.kernel import KernelLaunch, KernelSpec
+from repro.gpusim.memory import (
+    SECTOR_BYTES,
+    TrafficCounter,
+    gather_bytes,
+    linear_bytes,
+    segment_bytes,
+)
+from repro.gpusim.occupancy import (
+    OccupancyResult,
+    bandwidth_efficiency,
+    compute_occupancy,
+)
+from repro.gpusim.spec import A100, V100, GPUSpec, PCIeSpec
+from repro.gpusim.timing import CostModel
+
+__all__ = [
+    "A100",
+    "CostModel",
+    "GPUDevice",
+    "GPUSpec",
+    "KernelLaunch",
+    "KernelSpec",
+    "OccupancyResult",
+    "PCIeSpec",
+    "SECTOR_BYTES",
+    "ShardedDevice",
+    "Stopwatch",
+    "TrafficCounter",
+    "TransferRecord",
+    "V100",
+    "bandwidth_efficiency",
+    "compute_occupancy",
+    "gather_bytes",
+    "linear_bytes",
+    "segment_bytes",
+]

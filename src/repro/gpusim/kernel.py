@@ -1,0 +1,103 @@
+"""Kernel launch descriptions and per-launch statistics.
+
+A :class:`KernelSpec` is the static resource signature of a kernel — the
+numbers a CUDA compiler would report (threads per block, registers per
+thread, shared memory per block).  A :class:`KernelLaunch` pairs a spec
+with a grid size and a :class:`~repro.gpusim.memory.TrafficCounter`, and is
+what kernels record their memory behaviour into while they execute their
+(NumPy) data transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.memory import TrafficCounter
+from repro.gpusim.occupancy import OccupancyResult, compute_occupancy
+from repro.gpusim.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static resource signature of one GPU kernel."""
+
+    name: str
+    block_threads: int = 128
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if not 32 <= self.block_threads <= 1024:
+            raise ValueError(
+                f"block_threads must be in [32, 1024], got {self.block_threads}"
+            )
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be at least 1")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be non-negative")
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel launch: spec + grid + recorded traffic.
+
+    The launch object doubles as the recording surface: kernel
+    implementations call :meth:`read_linear`, :meth:`read_segments`,
+    :meth:`shared`, :meth:`compute` etc. (delegated to the traffic
+    counter) while doing their actual work.
+    """
+
+    spec: KernelSpec
+    grid_blocks: int
+    device_spec: GPUSpec
+    traffic: TrafficCounter = field(init=False)
+    occupancy: OccupancyResult = field(init=False)
+    #: Filled in by the executor when the launch completes.
+    time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise ValueError(f"grid_blocks must be >= 1, got {self.grid_blocks}")
+        self.traffic = TrafficCounter(self.device_spec)
+        self.occupancy = compute_occupancy(
+            self.device_spec,
+            self.spec.block_threads,
+            self.spec.registers_per_thread,
+            self.spec.shared_mem_per_block,
+        )
+        # Spilled registers cost local-memory traffic for every thread.
+        if self.occupancy.spilled_registers:
+            total_threads = self.grid_blocks * self.spec.block_threads
+            self.traffic.spill(self.occupancy.spilled_registers * 4 * total_threads)
+
+    # -- delegation to the traffic counter ---------------------------------
+
+    def read_linear(self, nbytes: int) -> None:
+        self.traffic.read_linear(nbytes)
+
+    def write_linear(self, nbytes: int) -> None:
+        self.traffic.write_linear(nbytes)
+
+    def read_segments(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        self.traffic.read_segments(starts, lengths)
+
+    def write_segments(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        self.traffic.write_segments(starts, lengths)
+
+    def read_gather(
+        self, count: int, element_bytes: int, region_bytes: int | None = None
+    ) -> None:
+        self.traffic.read_gather(count, element_bytes, region_bytes)
+
+    def write_scatter(
+        self, count: int, element_bytes: int, region_bytes: int | None = None
+    ) -> None:
+        self.traffic.write_scatter(count, element_bytes, region_bytes)
+
+    def shared(self, nbytes: int) -> None:
+        self.traffic.shared(nbytes)
+
+    def compute(self, ops: int) -> None:
+        self.traffic.compute(ops)

@@ -1,0 +1,179 @@
+"""Global-memory traffic accounting.
+
+GPU global memory serves loads and stores of a warp in fixed-size
+transactions (128 bytes on the V100, split into 32-byte sectors).  A warp
+reading 32 adjacent 4-byte integers costs exactly one transaction; a warp
+gathering from scattered addresses costs up to one 32-byte sector per
+thread.  The paper's optimizations (Section 4.2) are largely about turning
+scattered per-thread loads into coalesced tile loads, so the simulator
+counts traffic exactly, in bytes, at transaction/sector granularity.
+
+:class:`TrafficCounter` is the accumulator a kernel writes its accesses
+into.  Access patterns are described in aggregate (e.g. "these segments of
+the buffer were each read once") and the counter computes the traffic
+vectorized with NumPy, so accounting stays cheap even for millions of
+logical accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.spec import GPUSpec
+
+#: Granularity of an uncoalesced access: one L2 sector.
+SECTOR_BYTES = 32
+
+
+def segment_bytes(starts: np.ndarray, lengths: np.ndarray, transaction_bytes: int) -> int:
+    """Bytes of traffic to touch each byte segment once, one warp per segment.
+
+    Each segment ``[starts[i], starts[i] + lengths[i])`` is served by the
+    aligned transaction windows it overlaps.  Segments are assumed to be
+    issued by different warps/blocks and therefore do not share
+    transactions, matching the coalescing behaviour of compressed blocks
+    scattered across a column.
+
+    Args:
+        starts: byte offsets of each segment.
+        lengths: byte length of each segment (zero-length segments cost 0).
+        transaction_bytes: aligned transaction window size.
+
+    Returns:
+        Total bytes moved (transaction count times window size).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise ValueError("starts and lengths must have the same shape")
+    if np.any(lengths < 0) or np.any(starts < 0):
+        raise ValueError("segments must have non-negative starts and lengths")
+    nonzero = lengths > 0
+    if not np.any(nonzero):
+        return 0
+    s = starts[nonzero]
+    e = s + lengths[nonzero]
+    first = s // transaction_bytes
+    last = (e - 1) // transaction_bytes
+    return int(np.sum(last - first + 1)) * transaction_bytes
+
+
+def linear_bytes(nbytes: int, transaction_bytes: int) -> int:
+    """Traffic for a perfectly coalesced sequential sweep of ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return -(-nbytes // transaction_bytes) * transaction_bytes
+
+
+def gather_bytes(count: int, element_bytes: int, sector_bytes: int = SECTOR_BYTES) -> int:
+    """Traffic for ``count`` independent scattered loads of ``element_bytes``.
+
+    Models per-thread loads with no coalescing: each load pulls whole
+    32-byte sectors covering the element (an element can straddle one
+    sector boundary in the worst case, which is the common case for
+    bit-packed 8-byte windows, so we charge the covering sectors exactly).
+    """
+    if count < 0 or element_bytes < 0:
+        raise ValueError("count and element_bytes must be non-negative")
+    sectors_per_load = max(1, -(-element_bytes // sector_bytes))
+    return count * sectors_per_load * sector_bytes
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates one kernel launch's memory traffic and compute work."""
+
+    spec: GPUSpec
+    read_bytes: int = 0
+    write_bytes: int = 0
+    #: Local-memory traffic caused by register spilling.
+    spill_bytes: int = 0
+    #: Bytes moved through shared memory (loads + stores).
+    shared_bytes: int = 0
+    #: Scalar integer operations executed (for the compute-bound term).
+    compute_ops: int = 0
+
+    # -- global memory ----------------------------------------------------
+
+    def read_linear(self, nbytes: int) -> None:
+        """Record a fully coalesced sequential read of ``nbytes``."""
+        self.read_bytes += linear_bytes(nbytes, self.spec.transaction_bytes)
+
+    def write_linear(self, nbytes: int) -> None:
+        """Record a fully coalesced sequential write of ``nbytes``."""
+        self.write_bytes += linear_bytes(nbytes, self.spec.transaction_bytes)
+
+    def read_segments(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        """Record reads of independent byte segments (one warp group each)."""
+        self.read_bytes += segment_bytes(starts, lengths, self.spec.transaction_bytes)
+
+    def write_segments(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        """Record writes of independent byte segments (one warp group each)."""
+        self.write_bytes += segment_bytes(starts, lengths, self.spec.transaction_bytes)
+
+    def read_gather(
+        self, count: int, element_bytes: int, region_bytes: int | None = None
+    ) -> None:
+        """Record ``count`` uncoalesced loads of ``element_bytes`` each.
+
+        When ``region_bytes`` bounds the source region, traffic cannot
+        exceed one full sweep of that region — dense gathers (e.g. RLE
+        expansion where nearly every element is touched) coalesce into
+        sequential transactions on real hardware.
+        """
+        cost = gather_bytes(count, element_bytes)
+        if region_bytes is not None:
+            cost = min(cost, linear_bytes(region_bytes, self.spec.transaction_bytes))
+        self.read_bytes += cost
+
+    def write_scatter(
+        self, count: int, element_bytes: int, region_bytes: int | None = None
+    ) -> None:
+        """Record ``count`` uncoalesced stores of ``element_bytes`` each.
+
+        ``region_bytes`` bounds dense scatters the same way as
+        :meth:`read_gather`.
+        """
+        cost = gather_bytes(count, element_bytes)
+        if region_bytes is not None:
+            cost = min(cost, linear_bytes(region_bytes, self.spec.transaction_bytes))
+        self.write_bytes += cost
+
+    # -- other resources ---------------------------------------------------
+
+    def spill(self, nbytes: int) -> None:
+        """Record local-memory traffic caused by register spilling.
+
+        A spilled value is stored once and reloaded once, so the charged
+        traffic is twice the spilled byte count.
+        """
+        self.spill_bytes += 2 * linear_bytes(nbytes, self.spec.transaction_bytes)
+
+    def shared(self, nbytes: int) -> None:
+        """Record ``nbytes`` moved through shared memory."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        self.shared_bytes += nbytes
+
+    def compute(self, ops: int) -> None:
+        """Record ``ops`` scalar integer operations."""
+        if ops < 0:
+            raise ValueError(f"ops must be non-negative, got {ops}")
+        self.compute_ops += ops
+
+    # -- summary -----------------------------------------------------------
+
+    @property
+    def global_bytes(self) -> int:
+        """Total bytes moved through global memory, including spills."""
+        return self.read_bytes + self.write_bytes + self.spill_bytes
+
+    def merge(self, other: "TrafficCounter") -> None:
+        """Fold another counter's totals into this one."""
+        self.read_bytes += other.read_bytes
+        self.write_bytes += other.write_bytes
+        self.spill_bytes += other.spill_bytes
+        self.shared_bytes += other.shared_bytes
+        self.compute_ops += other.compute_ops

@@ -1,0 +1,88 @@
+"""Multi-GPU sharding (the Section 1 motivation).
+
+The paper motivates compression with the capacity wall: working sets
+larger than one device get sharded "between CPU and GPU or between
+multiple GPUs", paying interconnect cost.  This module models the
+multi-GPU half: a :class:`ShardedDevice` fans a column's tiles out over
+``k`` simulated GPUs round-robin and executes work on all shards
+concurrently, so elapsed time is the slowest shard plus a small all-reduce
+for result merging over the interconnect.
+
+Compression composes with sharding exactly as the paper argues it should:
+it either shrinks each shard (more working set per GPU) or reduces the
+number of GPUs needed for a fixed working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.executor import GPUDevice
+from repro.gpusim.spec import V100, GPUSpec
+
+
+@dataclass
+class ShardedDevice:
+    """``k`` simulated GPUs executing the same kernel over shards."""
+
+    num_devices: int
+    spec: GPUSpec = field(default_factory=lambda: V100)
+    #: Bandwidth of the inter-GPU link used for result merging (NVLink-ish).
+    interconnect_gbps: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+        self.devices = [GPUDevice(spec=self.spec) for _ in range(self.num_devices)]
+        self._merge_ms = 0.0
+
+    def shard_sizes(self, total: int) -> list[int]:
+        """Round-robin split of ``total`` items over the devices."""
+        base = total // self.num_devices
+        extra = total % self.num_devices
+        return [base + (1 if i < extra else 0) for i in range(self.num_devices)]
+
+    def run_sharded(self, fn, total_items: int, *args, **kwargs) -> list:
+        """Run ``fn(device, shard_items, *args)`` on every device's shard.
+
+        ``fn`` performs (and accounts) one shard's work on its device;
+        returns the list of per-shard results.
+        """
+        results = []
+        for device, items in zip(self.devices, self.shard_sizes(total_items)):
+            results.append(fn(device, items, *args, **kwargs))
+        return results
+
+    def merge_results(self, nbytes_per_device: int) -> float:
+        """All-gather partial results over the interconnect; returns ms."""
+        if nbytes_per_device < 0:
+            raise ValueError("nbytes_per_device must be non-negative")
+        # Ring all-gather: each device ships its partial once.
+        ms = (
+            nbytes_per_device
+            * (self.num_devices - 1)
+            / (self.interconnect_gbps * 1e9)
+            * 1e3
+        )
+        self._merge_ms += ms
+        return ms
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Wall-clock of the sharded execution: slowest device + merges."""
+        return max(d.elapsed_ms for d in self.devices) + self._merge_ms
+
+    @property
+    def total_device_ms(self) -> float:
+        """Aggregate device time (resource cost, not wall-clock)."""
+        return sum(d.elapsed_ms for d in self.devices)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Combined device memory."""
+        return self.num_devices * self.spec.global_capacity_bytes
+
+    def reset(self) -> None:
+        for device in self.devices:
+            device.reset()
+        self._merge_ms = 0.0

@@ -1,0 +1,122 @@
+"""CUDA-style occupancy calculation.
+
+Occupancy — the fraction of a streaming multiprocessor's thread slots that
+are resident — determines how well memory latency is hidden.  The paper's
+Figure 5 hinges on it: processing D=32 data blocks per thread block needs
+128 bytes of shared memory and >64 registers per thread, which collapses
+occupancy and spills registers, so performance craters.
+
+The calculation below is the standard one: resident blocks per SM are
+limited by the thread-slot, block-slot, register-file, and shared-memory
+budgets; occupancy is resident threads over the thread-slot budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import GPUSpec
+
+#: Register allocation granularity (registers round up to this multiple).
+_REGISTER_GRANULARITY = 8
+#: Shared-memory allocation granularity per block, in bytes.
+_SMEM_GRANULARITY = 256
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration."""
+
+    #: Resident thread blocks per SM.
+    blocks_per_sm: int
+    #: Resident threads / max threads, in [0, 1].
+    occupancy: float
+    #: Registers per thread actually allocated (capped by the spill limit).
+    allocated_registers: int
+    #: Registers per thread that did not fit and spill to local memory.
+    spilled_registers: int
+    #: Which resource bound the block count ("threads", "blocks",
+    #: "registers", or "shared_mem").
+    limiter: str
+
+
+def compute_occupancy(
+    spec: GPUSpec,
+    block_threads: int,
+    registers_per_thread: int,
+    shared_mem_per_block: int,
+) -> OccupancyResult:
+    """Compute achieved occupancy for a kernel resource configuration.
+
+    Args:
+        spec: device resource limits.
+        block_threads: threads per thread block (32..1024).
+        registers_per_thread: registers the kernel wants per thread.
+        shared_mem_per_block: bytes of shared memory per thread block.
+
+    Returns:
+        An :class:`OccupancyResult`; never raises for heavy kernels — a
+        kernel that cannot fit even one block is reported with
+        ``blocks_per_sm == 1`` and the overflow charged as spilling, which
+        is how a real compiler/driver degrades rather than refuses.
+    """
+    if not 32 <= block_threads <= 1024:
+        raise ValueError(f"block_threads must be in [32, 1024], got {block_threads}")
+    if registers_per_thread < 0 or shared_mem_per_block < 0:
+        raise ValueError("resource requests must be non-negative")
+
+    # The compiler caps register allocation; demand beyond the cap spills.
+    allocated = min(registers_per_thread, spec.max_registers_per_thread)
+    allocated = max(allocated, 1)
+    spilled = max(0, registers_per_thread - allocated)
+
+    granted_regs = -(-allocated // _REGISTER_GRANULARITY) * _REGISTER_GRANULARITY
+    granted_smem = max(
+        _SMEM_GRANULARITY,
+        -(-shared_mem_per_block // _SMEM_GRANULARITY) * _SMEM_GRANULARITY,
+    )
+
+    by_threads = spec.max_threads_per_sm // block_threads
+    by_blocks = spec.max_blocks_per_sm
+    by_registers = spec.registers_per_sm // (granted_regs * block_threads)
+    by_smem = spec.shared_mem_per_sm // granted_smem
+
+    limits = {
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "registers": by_registers,
+        "shared_mem": by_smem,
+    }
+    limiter = min(limits, key=limits.__getitem__)
+    blocks_per_sm = limits[limiter]
+
+    if blocks_per_sm < 1:
+        # Too big to co-schedule at all: run one block anyway and charge the
+        # shared-memory overflow as additional spilled state.
+        blocks_per_sm = 1
+        overflow_bytes = max(0, granted_smem - spec.shared_mem_per_sm)
+        spilled += -(-overflow_bytes // 4) // max(block_threads, 1)
+        limiter = "shared_mem"
+
+    occupancy = blocks_per_sm * block_threads / spec.max_threads_per_sm
+    return OccupancyResult(
+        blocks_per_sm=blocks_per_sm,
+        occupancy=min(1.0, occupancy),
+        allocated_registers=allocated,
+        spilled_registers=spilled,
+        limiter=limiter,
+    )
+
+
+def bandwidth_efficiency(spec: GPUSpec, occupancy: float) -> float:
+    """Fraction of peak global bandwidth achievable at a given occupancy.
+
+    Above the latency-hiding knee the memory system saturates and extra
+    occupancy does not help; below it, in-flight requests scale with
+    resident warps so effective bandwidth degrades linearly.
+    """
+    if not 0.0 <= occupancy <= 1.0:
+        raise ValueError(f"occupancy must be in [0, 1], got {occupancy}")
+    if occupancy >= spec.latency_hiding_knee:
+        return 1.0
+    return max(occupancy / spec.latency_hiding_knee, 1e-3)

@@ -1,0 +1,101 @@
+"""Hardware specifications for the simulated GPU and host interconnect.
+
+The reproduction runs on a deterministic performance model instead of real
+CUDA hardware.  A :class:`GPUSpec` captures the handful of device parameters
+that the paper's performance story depends on: global-memory bandwidth,
+shared-memory bandwidth, streaming-multiprocessor (SM) resource limits used
+by the occupancy calculation, and kernel launch overhead.
+
+The default spec mirrors the Nvidia V100 used in the paper (Section 9.1):
+16 GB HBM2 at 880 GB/s measured read/write bandwidth, 80 SMs, 96 KB shared
+memory per SM, 64K 32-bit registers per SM, and a 12.8 GB/s bidirectional
+PCIe 3.0 link to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Host-device interconnect model.
+
+    Attributes:
+        bandwidth_gbps: sustained transfer bandwidth in gigabytes/second.
+        latency_us: fixed per-transfer setup latency in microseconds.
+    """
+
+    bandwidth_gbps: float = 12.8
+    latency_us: float = 10.0
+
+    def transfer_ms(self, nbytes: int) -> float:
+        """Time in milliseconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_us / 1000.0 + nbytes / (self.bandwidth_gbps * 1e9) * 1e3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Resource and throughput model of a single GPU device.
+
+    The attributes are the inputs of a standard CUDA occupancy calculation
+    plus the bandwidth figures that the cost model converts memory traffic
+    into simulated milliseconds with.
+    """
+
+    name: str = "V100"
+    #: Measured global read/write bandwidth (the paper reports 880 GB/s).
+    global_bandwidth_gbps: float = 880.0
+    #: Shared memory bandwidth, roughly an order of magnitude above global.
+    shared_bandwidth_gbps: float = 10_000.0
+    #: Global memory capacity in bytes (16 GB HBM2 on the V100).
+    global_capacity_bytes: int = 16 * 1024**3
+    #: Size of one coalesced global-memory transaction in bytes.
+    transaction_bytes: int = 128
+    #: Number of streaming multiprocessors.
+    sm_count: int = 80
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int = 2048
+    #: Maximum resident thread blocks per SM.
+    max_blocks_per_sm: int = 32
+    #: 32-bit registers per SM.
+    registers_per_sm: int = 65_536
+    #: Shared memory per SM in bytes (96 KB usable on the V100).
+    shared_mem_per_sm: int = 96 * 1024
+    #: Register count beyond which the compiler spills to local memory.
+    max_registers_per_thread: int = 64
+    #: Fixed cost of launching one kernel, in microseconds.
+    kernel_launch_us: float = 5.0
+    #: Simple integer-op throughput in giga-operations/second, used for the
+    #: compute-bound term of the cost model.
+    int_throughput_gops: float = 4000.0
+    #: Occupancy below this fraction no longer hides memory latency fully;
+    #: effective bandwidth degrades proportionally below the knee.
+    latency_hiding_knee: float = 0.50
+    #: Host interconnect.
+    pcie: PCIeSpec = field(default_factory=PCIeSpec)
+
+    def __post_init__(self) -> None:
+        if self.global_bandwidth_gbps <= 0:
+            raise ValueError("global_bandwidth_gbps must be positive")
+        if self.transaction_bytes <= 0 or self.transaction_bytes % 32:
+            raise ValueError("transaction_bytes must be a positive multiple of 32")
+        if not 0.0 < self.latency_hiding_knee <= 1.0:
+            raise ValueError("latency_hiding_knee must be in (0, 1]")
+
+
+#: The device used throughout the paper's evaluation (Section 9.1).
+V100 = GPUSpec()
+
+#: A newer part, used to sanity-check that conclusions transfer.
+A100 = GPUSpec(
+    name="A100",
+    global_bandwidth_gbps=1555.0,
+    shared_bandwidth_gbps=19_000.0,
+    global_capacity_bytes=40 * 1024**3,
+    sm_count=108,
+    shared_mem_per_sm=164 * 1024,
+    pcie=PCIeSpec(bandwidth_gbps=25.0),
+)

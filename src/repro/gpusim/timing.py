@@ -1,0 +1,48 @@
+"""Cost model: recorded kernel traffic → simulated milliseconds.
+
+The model captures the regime the paper operates in: database kernels on a
+GPU are memory-bound, so a launch's time is its global-memory traffic
+divided by the bandwidth it can actually achieve, with shared-memory and
+compute terms that only dominate when a kernel leans on them unusually hard
+(e.g. GPU-DFOR's block-wide prefix sums are shared-memory bound, the naive
+miniblock-offset loop of Algorithm 1 is compute bound).
+
+Terms overlap on real hardware, so a launch costs the *maximum* of the
+three resource times plus the fixed launch overhead — the classic roofline
+treatment.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.occupancy import bandwidth_efficiency
+from repro.gpusim.spec import GPUSpec
+
+
+class CostModel:
+    """Converts a :class:`KernelLaunch`'s recorded traffic into time."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    def launch_time_ms(self, launch: KernelLaunch) -> float:
+        """Simulated execution time of one kernel launch in milliseconds."""
+        spec = self.spec
+        efficiency = bandwidth_efficiency(spec, launch.occupancy.occupancy)
+
+        global_bytes = launch.traffic.global_bytes
+        mem_ms = global_bytes / (spec.global_bandwidth_gbps * 1e9 * efficiency) * 1e3
+
+        shared_ms = (
+            launch.traffic.shared_bytes / (spec.shared_bandwidth_gbps * 1e9) * 1e3
+        )
+
+        # Compute throughput scales with occupancy the same way bandwidth
+        # does: fewer resident warps, fewer instructions in flight.
+        compute_ms = (
+            launch.traffic.compute_ops
+            / (spec.int_throughput_gops * 1e9 * efficiency)
+            * 1e3
+        )
+
+        return spec.kernel_launch_us / 1000.0 + max(mem_ms, shared_ms, compute_ms)

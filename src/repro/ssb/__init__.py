@@ -1,0 +1,20 @@
+"""Star Schema Benchmark substrate: deterministic dbgen + column loading."""
+
+from repro.ssb.dbgen import SSBDatabase, generate
+from repro.ssb.loader import (
+    SYSTEMS,
+    ColumnStore,
+    StoredColumn,
+    compress_column,
+    load_lineorder,
+)
+
+__all__ = [
+    "SSBDatabase",
+    "SYSTEMS",
+    "ColumnStore",
+    "StoredColumn",
+    "compress_column",
+    "generate",
+    "load_lineorder",
+]

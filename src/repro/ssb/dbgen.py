@@ -1,0 +1,222 @@
+"""SSB data generator (the reproduction's stand-in for ``ssb-dbgen``).
+
+Generates the five SSB tables as integer column dictionaries, mirroring
+the distributions that drive the paper's Figure 9 compression results:
+
+* ``lo_orderkey`` is sorted with runs of one order's lines — GPU-DFOR /
+  GPU-RFOR territory;
+* ``lo_orderdate``, ``lo_custkey``, ``lo_ordtotalprice`` repeat per order
+  (average run length ~4) — GPU-RFOR columns;
+* ``lo_extendedprice``, ``lo_revenue``, ``lo_supplycost`` are large
+  "random" integers only bit-packing compresses;
+* small-domain columns (``lo_quantity``, ``lo_discount``, ``lo_tax``,
+  ``lo_linenumber``) bit-pack to a few bits.
+
+String attributes are generated directly as dictionary codes; the string
+dictionaries themselves (nation names etc.) live in
+:mod:`repro.ssb.schema`.  Generation is deterministic given (scale
+factor, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ssb import schema
+
+
+@dataclass
+class SSBDatabase:
+    """All five SSB tables as ``{column: int64 array}`` dictionaries."""
+
+    scale_factor: float
+    date: dict[str, np.ndarray] = field(default_factory=dict)
+    customer: dict[str, np.ndarray] = field(default_factory=dict)
+    supplier: dict[str, np.ndarray] = field(default_factory=dict)
+    part: dict[str, np.ndarray] = field(default_factory=dict)
+    lineorder: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_lineorder_rows(self) -> int:
+        return int(self.lineorder["lo_orderkey"].size)
+
+    def table(self, name: str) -> dict[str, np.ndarray]:
+        """Look a table up by name."""
+        if name not in ("date", "customer", "supplier", "part", "lineorder"):
+            raise KeyError(f"unknown SSB table {name!r}")
+        return getattr(self, name)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 2:
+        return 29 if year % 4 == 0 else 28
+    return 31 if month in (1, 3, 5, 7, 8, 10, 12) else 30
+
+
+def _gen_date() -> dict[str, np.ndarray]:
+    """The date dimension: one row per calendar day of 1992-1998."""
+    datekey, year, month, day = [], [], [], []
+    for y in schema.DATE_YEARS:
+        for m in range(1, 13):
+            for d in range(1, _days_in_month(y, m) + 1):
+                datekey.append(y * 10_000 + m * 100 + d)
+                year.append(y)
+                month.append(m)
+                day.append(d)
+    datekey = np.array(datekey, dtype=np.int64)
+    year = np.array(year, dtype=np.int64)
+    month = np.array(month, dtype=np.int64)
+    day = np.array(day, dtype=np.int64)
+    day_of_epoch = np.arange(datekey.size, dtype=np.int64)
+    day_of_year = _day_of_year(year, month, day)
+    return {
+        "d_datekey": datekey,
+        "d_year": year,
+        "d_monthnuminyear": month,
+        "d_daynuminmonth": day,
+        "d_yearmonthnum": year * 100 + month,
+        "d_weeknuminyear": (day_of_year - 1) // 7 + 1,
+        "d_daynuminweek": day_of_epoch % 7 + 1,
+        "d_dayofepoch": day_of_epoch,
+    }
+
+
+def _day_of_year(year: np.ndarray, month: np.ndarray, day: np.ndarray) -> np.ndarray:
+    doy = np.zeros(year.size, dtype=np.int64)
+    for y in np.unique(year):
+        cum = np.cumsum([0] + [_days_in_month(int(y), m) for m in range(1, 12)])
+        sel = year == y
+        doy[sel] = cum[month[sel] - 1] + day[sel]
+    return doy
+
+
+def _gen_customer(n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    city = rng.integers(0, schema.NUM_CITIES, n)
+    return {
+        "c_custkey": np.arange(1, n + 1, dtype=np.int64),
+        "c_city": city,
+        "c_nation": city // schema.CITIES_PER_NATION,
+        "c_region": city // (schema.CITIES_PER_NATION * schema.NATIONS_PER_REGION),
+    }
+
+
+def _gen_supplier(n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    city = rng.integers(0, schema.NUM_CITIES, n)
+    return {
+        "s_suppkey": np.arange(1, n + 1, dtype=np.int64),
+        "s_city": city,
+        "s_nation": city // schema.CITIES_PER_NATION,
+        "s_region": city // (schema.CITIES_PER_NATION * schema.NATIONS_PER_REGION),
+    }
+
+
+def _gen_part(n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    brand = rng.integers(0, schema.NUM_BRANDS, n)
+    category = brand // schema.BRANDS_PER_CATEGORY
+    return {
+        "p_partkey": np.arange(1, n + 1, dtype=np.int64),
+        "p_brand1": brand,
+        "p_category": category,
+        "p_mfgr": category // schema.CATEGORIES_PER_MFGR,
+        "p_color": rng.integers(0, 92, n),
+        "p_size": rng.integers(1, 51, n),
+        # Retail price in cents-free SSB style: ~90,000 .. 200,000.
+        "p_price": rng.integers(90_000, 200_001, n),
+    }
+
+
+def generate(scale_factor: float = 0.1, seed: int = 42) -> SSBDatabase:
+    """Generate a deterministic SSB database.
+
+    Args:
+        scale_factor: SSB SF; the paper runs SF=20 (120M lineorder rows),
+            tests and benches here default far smaller.
+        seed: RNG seed; same (sf, seed) always yields the same database.
+
+    Returns:
+        A fully populated :class:`SSBDatabase`.
+    """
+    rng = np.random.default_rng(seed)
+    db = SSBDatabase(scale_factor=scale_factor)
+    db.date = _gen_date()
+
+    n_cust = max(100, int(schema.CUSTOMERS_PER_SF * scale_factor))
+    n_supp = max(50, int(schema.SUPPLIERS_PER_SF * scale_factor))
+    n_part = schema.parts_for_sf(scale_factor)
+    db.customer = _gen_customer(n_cust, rng)
+    db.supplier = _gen_supplier(n_supp, rng)
+    db.part = _gen_part(n_part, rng)
+
+    n_orders = max(100, int(schema.ORDERS_PER_SF * scale_factor))
+    db.lineorder = _gen_lineorder(db, n_orders, rng)
+    return db
+
+
+def _gen_lineorder(
+    db: SSBDatabase, n_orders: int, rng: np.random.Generator
+) -> dict[str, np.ndarray]:
+    lines_per_order = rng.integers(
+        schema.MIN_LINES_PER_ORDER, schema.MAX_LINES_PER_ORDER + 1, n_orders
+    )
+    n = int(lines_per_order.sum())
+    order_of_line = np.repeat(np.arange(n_orders), lines_per_order)
+
+    datekeys = db.date["d_datekey"]
+    n_cust = db.customer["c_custkey"].size
+    n_supp = db.supplier["s_suppkey"].size
+    n_part = db.part["p_partkey"].size
+
+    # Per-order attributes: repeated across the order's lines, which is
+    # exactly what gives lo_orderdate / lo_custkey / lo_ordtotalprice
+    # their high average run length (Section 9.4).
+    order_date_idx = rng.integers(0, datekeys.size, n_orders)
+    order_custkey = rng.integers(1, n_cust + 1, n_orders)
+
+    # Per-line attributes.
+    partkey = rng.integers(1, n_part + 1, n)
+    suppkey = rng.integers(1, n_supp + 1, n)
+    quantity = rng.integers(1, 51, n)
+    discount = rng.integers(0, 11, n)
+    tax = rng.integers(0, 9, n)
+    price = db.part["p_price"][partkey - 1]
+    extendedprice = quantity * price
+    revenue = extendedprice * (100 - discount) // 100
+    supplycost = 6 * price // 10 + rng.integers(0, 10_000, n)
+
+    # Commit date: 30-90 days after the order date, clamped to the range.
+    commit_idx = np.minimum(
+        order_date_idx[order_of_line] + rng.integers(30, 91, n), datekeys.size - 1
+    )
+
+    # Order total price: the sum of the order's extended prices.
+    ordtotal = np.bincount(order_of_line, weights=extendedprice, minlength=n_orders)
+    ordtotal = ordtotal.astype(np.int64)
+
+    line_number = _line_numbers(lines_per_order)
+
+    return {
+        "lo_orderkey": (order_of_line + 1).astype(np.int64),
+        "lo_linenumber": line_number,
+        "lo_custkey": order_custkey[order_of_line].astype(np.int64),
+        "lo_partkey": partkey.astype(np.int64),
+        "lo_suppkey": suppkey.astype(np.int64),
+        "lo_orderdate": datekeys[order_date_idx[order_of_line]],
+        "lo_ordtotalprice": ordtotal[order_of_line],
+        "lo_quantity": quantity.astype(np.int64),
+        "lo_extendedprice": extendedprice.astype(np.int64),
+        "lo_discount": discount.astype(np.int64),
+        "lo_revenue": revenue.astype(np.int64),
+        "lo_supplycost": supplycost.astype(np.int64),
+        "lo_tax": tax.astype(np.int64),
+        "lo_commitdate": datekeys[commit_idx],
+    }
+
+
+def _line_numbers(lines_per_order: np.ndarray) -> np.ndarray:
+    """1, 2, ..., k within each order, concatenated."""
+    n = int(lines_per_order.sum())
+    offsets = np.zeros(lines_per_order.size, dtype=np.int64)
+    np.cumsum(lines_per_order[:-1], out=offsets[1:])
+    return np.arange(n, dtype=np.int64) - np.repeat(offsets, lines_per_order) + 1

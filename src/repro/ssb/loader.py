@@ -1,0 +1,96 @@
+"""Column-store loading: compress SSB columns under each system's scheme.
+
+This is the Figure 9 machinery: every lineorder column is compressed with
+each competing system's best configuration —
+
+* ``none`` / ``omnisci``: raw 4-byte integers (OmniSci's only compression
+  is the dictionary encoding already applied to strings at generation);
+* ``gpu-star``: per-column best of GPU-FOR / GPU-DFOR / GPU-RFOR;
+* ``gpu-bp``: single-layer bit-packing (Mallia et al.);
+* ``planner``: the Fang et al. cascade planner;
+* ``nvcomp``: nvCOMP's cascade auto-selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.hybrid import choose_gpu_star
+from repro.core.nvcomp import encode_nvcomp
+from repro.core.planner import plan_column
+from repro.formats.registry import get_codec
+from repro.ssb.dbgen import SSBDatabase
+from repro.ssb.schema import LINEORDER_COLUMNS
+
+#: Systems Figure 9 / Figure 11 compare.
+SYSTEMS = ("none", "planner", "gpu-bp", "nvcomp", "gpu-star", "omnisci")
+
+
+@dataclass
+class StoredColumn:
+    """One lineorder column as stored by one system."""
+
+    name: str
+    system: str
+    #: Decoded values (the engine's correctness path).
+    values: np.ndarray
+    #: System-specific compressed representation (None for raw storage).
+    payload: Any
+    #: Compressed footprint in bytes.
+    nbytes: int
+    #: Codec name for tile-decodable payloads ("" otherwise).
+    codec_name: str = ""
+
+
+@dataclass
+class ColumnStore:
+    """All lineorder columns under one system's compression."""
+
+    system: str
+    columns: dict[str, StoredColumn]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.nbytes for c in self.columns.values())
+
+    def __getitem__(self, name: str) -> StoredColumn:
+        return self.columns[name]
+
+
+def compress_column(name: str, values: np.ndarray, system: str) -> StoredColumn:
+    """Compress one column the way ``system`` would store it."""
+    values = np.asarray(values, dtype=np.int64)
+    if system in ("none", "omnisci"):
+        return StoredColumn(name, system, values, None, values.size * 4)
+    if system == "gpu-star":
+        choice = choose_gpu_star(values)
+        return StoredColumn(
+            name,
+            system,
+            values,
+            choice.encoded,
+            choice.encoded.nbytes,
+            codec_name=choice.codec_name,
+        )
+    if system == "gpu-bp":
+        enc = get_codec("gpu-bp").encode(values)
+        return StoredColumn(name, system, values, enc, enc.nbytes, codec_name="gpu-bp")
+    if system == "planner":
+        planned = plan_column(values)
+        return StoredColumn(name, system, values, planned, planned.nbytes)
+    if system == "nvcomp":
+        col = encode_nvcomp(values)
+        return StoredColumn(name, system, values, col, col.nbytes)
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+def load_lineorder(db: SSBDatabase, system: str) -> ColumnStore:
+    """Compress every lineorder column under ``system``."""
+    columns = {
+        name: compress_column(name, db.lineorder[name], system)
+        for name in LINEORDER_COLUMNS
+    }
+    return ColumnStore(system=system, columns=columns)

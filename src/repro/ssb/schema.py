@@ -1,0 +1,87 @@
+"""Star Schema Benchmark schema constants.
+
+SSB (O'Neil et al.) is a star-schema simplification of TPC-H: one fact
+table ``lineorder`` and four dimensions ``date``, ``customer``,
+``supplier``, ``part``.  The constants here follow the SSB specification's
+cardinalities and value domains; string-valued attributes are represented
+directly as dictionary codes (the paper dictionary-encodes all strings
+before loading, Section 9.4).
+"""
+
+from __future__ import annotations
+
+#: Rows in the date dimension: 1992-01-01 .. 1998-12-31.
+DATE_YEARS = tuple(range(1992, 1999))
+
+#: Base cardinalities at scale factor 1.
+CUSTOMERS_PER_SF = 30_000
+SUPPLIERS_PER_SF = 2_000
+ORDERS_PER_SF = 1_500_000
+PARTS_BASE = 200_000
+
+#: Lines per order are uniform on [1, 7] (TPC-H heritage).
+MIN_LINES_PER_ORDER = 1
+MAX_LINES_PER_ORDER = 7
+
+#: Geography: 5 regions x 5 nations x 10 cities.
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS_PER_REGION = 5
+CITIES_PER_NATION = 10
+NUM_NATIONS = len(REGIONS) * NATIONS_PER_REGION
+NUM_CITIES = NUM_NATIONS * CITIES_PER_NATION
+
+#: Part hierarchy: 5 manufacturers x 5 categories x 40 brands.
+NUM_MFGRS = 5
+CATEGORIES_PER_MFGR = 5
+BRANDS_PER_CATEGORY = 40
+NUM_CATEGORIES = NUM_MFGRS * CATEGORIES_PER_MFGR
+NUM_BRANDS = NUM_CATEGORIES * BRANDS_PER_CATEGORY
+
+#: lineorder columns in the Figure 9 presentation order.
+LINEORDER_COLUMNS = (
+    "lo_orderkey",
+    "lo_orderdate",
+    "lo_ordtotalprice",
+    "lo_custkey",
+    "lo_partkey",
+    "lo_suppkey",
+    "lo_linenumber",
+    "lo_quantity",
+    "lo_tax",
+    "lo_discount",
+    "lo_commitdate",
+    "lo_extendedprice",
+    "lo_revenue",
+    "lo_supplycost",
+)
+
+
+def nation_of_city(city: int) -> int:
+    """Nation code of a city code."""
+    return city // CITIES_PER_NATION
+
+
+def region_of_nation(nation: int) -> int:
+    """Region code of a nation code."""
+    return nation // NATIONS_PER_REGION
+
+
+def category_of_brand(brand: int) -> int:
+    """Category code of a brand code."""
+    return brand // BRANDS_PER_CATEGORY
+
+
+def mfgr_of_category(category: int) -> int:
+    """Manufacturer code of a category code."""
+    return category // CATEGORIES_PER_MFGR
+
+
+def parts_for_sf(scale_factor: float) -> int:
+    """Part-table cardinality: 200k * (1 + log2(SF)), floored at 20k."""
+    import math
+
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    if scale_factor <= 1:
+        return max(20_000, int(PARTS_BASE * scale_factor) or 20_000)
+    return int(PARTS_BASE * (1 + math.log2(scale_factor)))

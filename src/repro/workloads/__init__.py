@@ -1,0 +1,27 @@
+"""Synthetic workload generators for the paper's microbenchmarks."""
+
+from repro.workloads.synthetic import (
+    D1_UNIQUE_COUNTS,
+    D2_MEANS,
+    D3_ALPHAS,
+    FIG7_BITWIDTHS,
+    d1_sorted,
+    d2_normal,
+    d3_zipf,
+    runs,
+    sorted_keys,
+    uniform_bitwidth,
+)
+
+__all__ = [
+    "D1_UNIQUE_COUNTS",
+    "D2_MEANS",
+    "D3_ALPHAS",
+    "FIG7_BITWIDTHS",
+    "d1_sorted",
+    "d2_normal",
+    "d3_zipf",
+    "runs",
+    "sorted_keys",
+    "uniform_bitwidth",
+]

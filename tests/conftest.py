@@ -1,0 +1,30 @@
+"""Shared fixtures: RNG, a small deterministic SSB database, and stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ssb.dbgen import generate
+from repro.ssb.loader import load_lineorder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def ssb_db():
+    """A tiny but fully-formed SSB database (≈60k lineorder rows)."""
+    return generate(scale_factor=0.01, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gpu_star_store(ssb_db):
+    return load_lineorder(ssb_db, "gpu-star")
+
+
+@pytest.fixture(scope="session")
+def none_store(ssb_db):
+    return load_lineorder(ssb_db, "none")

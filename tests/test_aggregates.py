@@ -1,0 +1,88 @@
+"""Grouped aggregates beyond SUM (engine extension)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.crystal import CrystalEngine
+from repro.gpusim import GPUDevice
+
+
+@pytest.fixture
+def pipeline(ssb_db, none_store):
+    engine = CrystalEngine(ssb_db, none_store, GPUDevice())
+    return engine.pipeline("agg-test"), ssb_db
+
+
+class TestGroupAggregate:
+    def test_count_per_group(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        codes = quantity % 5
+        result = p.group_aggregate(codes, None, 5, how="count")
+        expected = {int(c): int(n) for c, n in zip(*np.unique(codes, return_counts=True))}
+        assert result == expected
+
+    def test_min_max_match_numpy(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        price = p.load("lo_extendedprice")
+        codes = quantity % 7
+        got_min = p.group_aggregate(codes, price, 7, how="min")
+        got_max = p.group_aggregate(codes, price, 7, how="max")
+        for g in range(7):
+            sel = codes == g
+            if not sel.any():
+                continue
+            assert got_min[g] == int(price[sel].min())
+            assert got_max[g] == int(price[sel].max())
+
+    def test_avg_is_floor_of_mean(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        codes = np.zeros(quantity.size, dtype=np.int64)
+        got = p.group_aggregate(codes, quantity, 1, how="avg")
+        assert got[0] == int(quantity.sum()) // quantity.size
+
+    def test_respects_filters(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        p.filter(quantity > 25)
+        codes = np.zeros(quantity.size, dtype=np.int64)
+        got = p.group_aggregate(codes, quantity, 1, how="min")
+        assert got[0] == 26
+
+    def test_sum_delegates(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        codes = np.zeros(quantity.size, dtype=np.int64)
+        assert (
+            p.group_aggregate(codes, quantity, 1, how="sum")
+            == p.group_sum(codes, quantity, 1)
+        )
+
+    def test_empty_selection(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        p.filter(quantity > 10**9)
+        got = p.group_aggregate(np.zeros(quantity.size, np.int64), quantity, 1, "max")
+        assert got == {}
+
+    def test_validation(self, pipeline):
+        p, db = pipeline
+        quantity = p.load("lo_quantity")
+        codes = np.zeros(quantity.size, dtype=np.int64)
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            p.group_aggregate(codes, quantity, 1, how="median")
+        for how in ("sum", "avg", "min", "max"):
+            with pytest.raises(ValueError, match="needs a values"):
+                p.group_aggregate(codes, None, 1, how=how)
+        with pytest.raises(ValueError, match="range"):
+            p.group_aggregate(codes + 9, quantity, 3, how="min")
+
+    def test_charged_to_fused_kernel(self, ssb_db, none_store):
+        engine = CrystalEngine(ssb_db, none_store, GPUDevice())
+        p = engine.pipeline("t")
+        q = p.load("lo_quantity")
+        p.group_aggregate(np.zeros(q.size, np.int64), q, 1, how="max")
+        p.finish()
+        assert engine.device.kernel_count == 1

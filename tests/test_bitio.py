@@ -1,0 +1,147 @@
+"""Bit-level packing primitives: exactness, layout, and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import bitio
+
+
+class TestRequiredBits:
+    def test_empty_needs_zero(self):
+        assert bitio.required_bits(np.array([], dtype=np.int64)) == 0
+
+    def test_zero_needs_zero(self):
+        assert bitio.required_bits(np.zeros(10, dtype=np.int64)) == 0
+
+    def test_one_needs_one(self):
+        assert bitio.required_bits(np.array([1, 0, 1])) == 1
+
+    @pytest.mark.parametrize("b", [1, 2, 7, 8, 15, 16, 31, 32])
+    def test_boundary_values(self, b):
+        assert bitio.required_bits(np.array([2**b - 1], dtype=np.uint64)) == b
+        if b < 32:
+            assert bitio.required_bits(np.array([2**b], dtype=np.uint64)) == b + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bitio.required_bits(np.array([-1]))
+
+
+class TestWordsNeeded:
+    @pytest.mark.parametrize(
+        "count,bits,expected",
+        [(0, 5, 0), (32, 1, 1), (32, 32, 32), (32, 5, 5), (33, 5, 6), (1, 5, 1)],
+    )
+    def test_exact_counts(self, count, bits, expected):
+        assert bitio.words_needed(count, bits) == expected
+
+    def test_miniblock_of_32_always_word_aligned(self):
+        # The format property Section 4.1 builds on.
+        for b in range(33):
+            assert bitio.words_needed(32, b) == b
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bitio.words_needed(-1, 4)
+        with pytest.raises(ValueError):
+            bitio.words_needed(4, 33)
+
+
+class TestPackUnpack:
+    def test_known_layout_lsb_first(self):
+        # Values 1,2,3 at 2 bits: bits 01 10 11 -> word 0b111001 = 57.
+        words = bitio.pack_bits(np.array([1, 2, 3]), 2)
+        assert words.dtype == np.uint32
+        assert words[0] == 0b111001
+
+    def test_value_spanning_word_boundary(self):
+        # 7 values of 5 bits = 35 bits: the 7th spans words 0 and 1.
+        values = np.array([0, 0, 0, 0, 0, 0, 0b11111])
+        words = bitio.pack_bits(values, 5)
+        assert words.size == 2
+        assert words[0] >> 30 == 0b11  # low 2 bits of the last value
+        assert words[1] & 0b111 == 0b111
+
+    def test_roundtrip_all_bitwidths(self, rng):
+        for b in range(1, 33):
+            hi = 2**b
+            values = rng.integers(0, hi, 100, dtype=np.uint64)
+            out = bitio.unpack_bits(bitio.pack_bits(values, b), 100, b)
+            assert np.array_equal(out, values.astype(np.uint32))
+
+    def test_zero_bits(self):
+        assert bitio.pack_bits(np.zeros(10, np.uint64), 0).size == 0
+        assert np.array_equal(bitio.unpack_bits(np.zeros(0, np.uint32), 10, 0), np.zeros(10))
+
+    def test_empty(self):
+        assert bitio.pack_bits(np.array([], np.uint64), 7).size == 0
+        assert bitio.unpack_bits(np.zeros(0, np.uint32), 0, 7).size == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            bitio.pack_bits(np.array([4]), 2)
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError, match="need"):
+            bitio.unpack_bits(np.zeros(1, np.uint32), 100, 7)
+
+    def test_trailing_bits_zero(self):
+        words = bitio.pack_bits(np.array([1]), 3)
+        assert words[0] == 1  # bits 3..31 are zero padding
+
+    @given(
+        st.lists(st.integers(0, 2**17 - 1), min_size=0, max_size=300),
+        st.just(17),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values, bits):
+        arr = np.array(values, dtype=np.uint64)
+        out = bitio.unpack_bits(bitio.pack_bits(arr, bits), arr.size, bits)
+        assert np.array_equal(out, arr.astype(np.uint32))
+
+    @given(st.integers(1, 32), st.integers(0, 200), st.integers(0, 2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_random_widths(self, bits, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**bits, n, dtype=np.uint64)
+        out = bitio.unpack_bits(bitio.pack_bits(values, bits), n, bits)
+        assert np.array_equal(out, values.astype(np.uint32))
+
+
+class TestVertical:
+    def test_lane_striping_layout(self):
+        # With 2 lanes and 32-bit values, word g*2+l belongs to lane l.
+        values = np.arange(128, dtype=np.uint64)
+        words = bitio.pack_vertical(values, 32, 2)
+        # Lane 0 holds even indices; its first packed word is value 0.
+        assert words[0] == 0
+        assert words[1] == 1  # lane 1's first value
+
+    @pytest.mark.parametrize("lanes", [1, 2, 4, 32])
+    @pytest.mark.parametrize("bits", [1, 5, 16, 32])
+    def test_roundtrip(self, rng, lanes, bits):
+        n = lanes * 32 * 3
+        values = rng.integers(0, 2**bits, n, dtype=np.uint64)
+        words = bitio.pack_vertical(values, bits, lanes)
+        out = bitio.unpack_vertical(words, n, bits, lanes)
+        assert np.array_equal(out, values.astype(np.uint32))
+
+    def test_same_words_as_horizontal(self, rng):
+        # Vertical and horizontal packing use identical space.
+        values = rng.integers(0, 2**9, 4096, dtype=np.uint64)
+        assert (
+            bitio.pack_vertical(values, 9, 32).size
+            == bitio.pack_bits(values, 9).size
+        )
+
+    def test_misaligned_size_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            bitio.pack_vertical(np.zeros(33, np.uint64), 4, 32)
+        with pytest.raises(ValueError, match="multiple"):
+            bitio.unpack_vertical(np.zeros(8, np.uint32), 33, 4, 32)
+
+    def test_zero_bits_vertical(self):
+        out = bitio.unpack_vertical(np.zeros(0, np.uint32), 64, 0, 2)
+        assert np.array_equal(out, np.zeros(64))

@@ -1,0 +1,142 @@
+"""Streaming encoding (GpuForBuilder) and compression analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    analyze_column,
+    block_range_bound,
+    delta_entropy,
+    empirical_entropy,
+)
+from repro.core.builder import GpuForBuilder
+from repro.formats import GpuFor
+
+
+class TestGpuForBuilder:
+    def _batched(self, values, batch):
+        builder = GpuForBuilder()
+        for i in range(0, values.size, batch):
+            builder.append(values[i : i + batch])
+        return builder.finish()
+
+    @pytest.mark.parametrize("batch", [1, 17, 128, 777, 10_000])
+    def test_bit_identical_to_one_shot(self, rng, batch):
+        values = rng.integers(0, 2**16, 5_000)
+        streamed = self._batched(values, batch)
+        one_shot = GpuFor().encode(values)
+        assert np.array_equal(streamed.arrays["data"], one_shot.arrays["data"])
+        assert np.array_equal(
+            streamed.arrays["block_starts"], one_shot.arrays["block_starts"]
+        )
+        assert streamed.count == one_shot.count
+
+    def test_decodes_correctly(self, rng):
+        values = rng.integers(-1000, 1000, 3000)
+        enc = self._batched(values, 250)
+        assert np.array_equal(GpuFor().decode(enc), values)
+
+    def test_empty_builder(self):
+        enc = GpuForBuilder().finish()
+        assert enc.count == 0
+        assert GpuFor().decode(enc).size == 0
+
+    def test_progress_properties(self, rng):
+        builder = GpuForBuilder()
+        builder.append(rng.integers(0, 100, 300))
+        assert builder.count == 300
+        assert builder.compressed_bytes_so_far > 0  # 2 whole blocks flushed
+
+    def test_finish_twice_rejected(self):
+        builder = GpuForBuilder()
+        builder.finish()
+        with pytest.raises(RuntimeError):
+            builder.finish()
+        with pytest.raises(RuntimeError):
+            builder.append(np.array([1]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            GpuForBuilder().append(np.zeros((2, 2)))
+
+    def test_memory_stays_bounded(self, rng):
+        # Pending raw data never exceeds one block after a flush.
+        builder = GpuForBuilder()
+        for _ in range(20):
+            builder.append(rng.integers(0, 100, 1000))
+            assert builder._pending.size < 128
+
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=12), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_any_batching_property(self, batch_sizes, seed):
+        rng = np.random.default_rng(seed)
+        batches = [rng.integers(0, 2**12, b) for b in batch_sizes]
+        values = np.concatenate(batches)
+        builder = GpuForBuilder()
+        for b in batches:
+            builder.append(b)
+        enc = builder.finish()
+        one_shot = GpuFor().encode(values)
+        assert np.array_equal(enc.arrays["data"], one_shot.arrays["data"])
+
+
+class TestEntropy:
+    def test_uniform_entropy(self, rng):
+        values = rng.integers(0, 256, 200_000)
+        assert empirical_entropy(values) == pytest.approx(8.0, abs=0.02)
+
+    def test_constant_entropy_zero(self):
+        assert empirical_entropy(np.full(100, 7)) == 0.0
+        assert empirical_entropy(np.array([], dtype=np.int64)) == 0.0
+
+    def test_two_symbol(self):
+        assert empirical_entropy(np.array([0, 1] * 500)) == pytest.approx(1.0)
+
+    def test_delta_entropy_of_ramp_is_zero(self):
+        assert delta_entropy(np.arange(1000)) == 0.0
+
+    def test_block_range_bound(self, rng):
+        values = rng.integers(0, 2**10, 12_800)
+        bound = block_range_bound(values)
+        assert 9.5 <= bound <= 10.0  # per-block span just under 2^10
+
+
+class TestAnalyzeColumn:
+    def test_gpu_for_near_block_bound_on_uniform(self, rng):
+        values = rng.integers(0, 2**12, 100_000)
+        a = analyze_column(values)
+        # GPU-FOR achieves the block-range bound + ~0.75 overhead.
+        assert a.achieved_bits["gpu-for"] <= a.block_range_bits + 1.0
+        # And the block bound is close to entropy for uniform data.
+        assert a.block_range_bits <= a.entropy_bits + 1.0
+
+    def test_structure_beats_order0_entropy(self):
+        # Sorted keys: DFOR exploits delta structure the order-0 model
+        # cannot see, so efficiency > 1.
+        a = analyze_column(np.arange(100_000))
+        assert a.best_scheme == "gpu-dfor"
+        assert a.efficiency > 2.0
+
+    def test_runs_favour_rfor(self, rng):
+        values = np.repeat(rng.integers(0, 100, 1000), 64)
+        a = analyze_column(values)
+        assert a.best_scheme == "gpu-rfor"
+        assert a.achieved_bits["gpu-rfor"] < a.entropy_bits
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_column(np.zeros((2, 2)))
+
+
+class TestMultiGpuScaling:
+    def test_near_linear(self):
+        from repro.experiments import multigpu_scaling
+
+        rows = multigpu_scaling.run(n=300_000)
+        by_devices = {r["devices"]: r for r in rows}
+        assert by_devices[1]["speedup"] == pytest.approx(1.0)
+        assert by_devices[4]["speedup"] > 3.0
+        assert by_devices[8]["speedup"] > 5.5
+        assert by_devices[8]["capacity_GB"] == 8 * 16

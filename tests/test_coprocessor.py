@@ -1,0 +1,148 @@
+"""Out-of-core execution: the device cache and coprocessor executor."""
+
+import pytest
+
+from repro.engine.coprocessor import CoprocessorExecutor, DeviceCache
+from repro.engine.ssb_queries import QUERIES
+from repro.gpusim import GPUDevice
+from repro.ssb.loader import load_lineorder
+
+
+class TestDeviceCache:
+    def test_miss_then_hit(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        first = cache.request("a", 400, device)
+        second = cache.request("a", 400, device)
+        assert first > 0 and second == 0.0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        cache.request("a", 400, device)
+        cache.request("b", 400, device)
+        cache.request("c", 400, device)  # evicts a
+        assert cache.stats.evictions == 1
+        assert "a" not in cache.resident_columns
+        assert cache.request("b", 400, device) == 0.0  # b survived
+
+    def test_touch_refreshes_recency(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        cache.request("a", 400, device)
+        cache.request("b", 400, device)
+        cache.request("a", 400, device)  # a becomes most recent
+        cache.request("c", 400, device)  # evicts b, not a
+        assert "a" in cache.resident_columns
+        assert "b" not in cache.resident_columns
+
+    def test_oversized_column_streams(self):
+        cache = DeviceCache(100)
+        device = GPUDevice()
+        ms = cache.request("big", 1000, device)
+        assert ms > 0
+        assert cache.used_bytes == 0  # streamed, never cached
+        assert cache.request("big", 1000, device) > 0  # still a miss
+
+    def test_invalidate(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        cache.request("a", 100, device)
+        cache.invalidate("a")
+        assert cache.request("a", 100, device) > 0  # miss again
+        cache.invalidate("never-seen")  # no-op
+
+    def test_budget_accounting(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        cache.request("a", 300, device)
+        cache.request("b", 300, device)
+        assert cache.used_bytes == 600
+        assert cache.stats.bytes_transferred == 600
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceCache(0)
+        cache = DeviceCache(10)
+        with pytest.raises(ValueError):
+            cache.request("a", -1, GPUDevice())
+
+    def test_hit_rate(self):
+        cache = DeviceCache(1000)
+        device = GPUDevice()
+        assert cache.stats.hit_rate == 0.0
+        cache.request("a", 10, device)
+        cache.request("a", 10, device)
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestCoprocessorExecutor:
+    def test_first_run_transfers_then_caches(self, ssb_db, gpu_star_store):
+        budget = gpu_star_store.total_bytes * 2
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, budget)
+        q = QUERIES["q1.1"]
+        cold = exe.run(q)
+        warm = exe.run(q)
+        assert cold.cache_misses == len(q.columns)
+        assert warm.cache_hits == len(q.columns)
+        assert warm.transfer_ms == 0.0
+        assert cold.total_ms > warm.total_ms
+
+    def test_results_identical_across_runs(self, ssb_db, gpu_star_store):
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, 10**9)
+        a = exe.run(QUERIES["q2.1"])
+        b = exe.run(QUERIES["q2.1"])
+        assert a.query.groups == b.query.groups
+
+    def test_tight_budget_keeps_missing(self, ssb_db, gpu_star_store):
+        # A budget smaller than one query's columns forces re-transfers.
+        q = QUERIES["q4.1"]
+        needed = sum(gpu_star_store[c].nbytes for c in q.columns)
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, max(1, needed // 4))
+        exe.run(q)
+        second = exe.run(q)
+        assert second.cache_misses > 0
+
+    def test_compression_reduces_transfer(self, ssb_db, gpu_star_store, none_store):
+        q = QUERIES["q3.1"]
+        star = CoprocessorExecutor(ssb_db, gpu_star_store, 10**12).run(q)
+        raw = CoprocessorExecutor(ssb_db, none_store, 10**12).run(q)
+        assert star.transfer_ms < raw.transfer_ms / 1.5
+        assert star.query.groups == raw.query.groups
+
+    def test_working_set_rotation_evicts(self, ssb_db, gpu_star_store):
+        q1, q4 = QUERIES["q1.1"], QUERIES["q4.1"]
+        budget = max(
+            sum(gpu_star_store[c].nbytes for c in q1.columns),
+            sum(gpu_star_store[c].nbytes for c in q4.columns),
+        ) + 1024
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, budget)
+        exe.run(q1)
+        exe.run(q4)  # shares lo_orderdate/lo_revenue region only partly
+        assert exe.cache.stats.evictions >= 0  # bounded budget respected
+        assert exe.cache.used_bytes <= budget
+
+
+class TestOverlappedStaging:
+    def test_overlap_bounded_by_components(self, ssb_db, gpu_star_store):
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, 10**12)
+        r = exe.run(QUERIES["q4.1"])
+        assert r.overlapped_ms <= r.total_ms + 1e-12
+        assert r.overlapped_ms >= max(r.transfer_ms, r.query.simulated_ms)
+
+    def test_overlap_helps_when_transfer_dominates(self, ssb_db, none_store):
+        # Raw columns: transfer >> execute, so overlap approaches the
+        # transfer time alone instead of the serial sum.
+        exe = CoprocessorExecutor(ssb_db, none_store, 10**12)
+        r = exe.run(QUERIES["q1.1"])
+        assert r.transfer_ms > r.query.simulated_ms
+        saved = r.total_ms - r.overlapped_ms
+        assert saved > 0.25 * r.query.simulated_ms
+
+    def test_warm_cache_no_overlap_benefit(self, ssb_db, gpu_star_store):
+        exe = CoprocessorExecutor(ssb_db, gpu_star_store, 10**12)
+        exe.run(QUERIES["q1.1"])
+        warm = exe.run(QUERIES["q1.1"])
+        assert warm.transfer_ms == 0.0
+        assert warm.overlapped_ms == pytest.approx(warm.query.simulated_ms)

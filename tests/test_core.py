@@ -1,0 +1,163 @@
+"""Core execution models: tile decompression, cascading, reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColumnStats,
+    decompress,
+    decompress_cascaded,
+    read_uncompressed,
+)
+from repro.formats import get_codec
+from repro.gpusim import GPUDevice
+
+
+@pytest.fixture
+def uniform16(rng):
+    return rng.integers(0, 2**16, 200_000)
+
+
+class TestTileDecompress:
+    def test_values_bit_exact(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        report = decompress(enc, GPUDevice())
+        assert np.array_equal(report.values, uniform16)
+
+    def test_single_kernel(self, uniform16):
+        device = GPUDevice()
+        enc = get_codec("gpu-for").encode(uniform16)
+        report = decompress(enc, device)
+        assert report.kernel_count == 1
+        assert device.kernel_count == 1
+
+    def test_write_back_costs_output_sweep(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        with_wb = decompress(enc, GPUDevice(), write_back=True).simulated_ms
+        without = decompress(enc, GPUDevice(), write_back=False).simulated_ms
+        assert with_wb > without
+
+    def test_opt_levels_monotone(self, uniform16):
+        times = []
+        for opt in range(4):
+            enc = get_codec("gpu-for").encode(uniform16)
+            times.append(
+                decompress(enc, GPUDevice(), opt_level=opt, write_back=False).simulated_ms
+            )
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_opt01_rejected_for_format_level_d(self, rng):
+        enc = get_codec("gpu-dfor").encode(np.sort(rng.integers(0, 100, 2000)))
+        with pytest.raises(ValueError, match="opt levels"):
+            decompress(enc, GPUDevice(), opt_level=1)
+
+    def test_invalid_opt_level(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        with pytest.raises(ValueError):
+            decompress(enc, GPUDevice(), opt_level=4)
+
+    def test_non_tile_codec_rejected(self, uniform16):
+        enc = get_codec("nsf").encode(uniform16)
+        with pytest.raises(TypeError, match="tile"):
+            decompress(enc, GPUDevice())
+
+    def test_report_fields(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        report = decompress(enc, GPUDevice())
+        assert report.compressed_bytes == enc.nbytes
+        assert report.output_bytes == uniform16.size * 4
+        assert report.effective_bandwidth_gbps > 0
+        assert 0 < report.launch_overhead_ms < report.simulated_ms
+
+    def test_scaled_ms_excludes_overhead(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        report = decompress(enc, GPUDevice())
+        assert report.scaled_ms(1.0) == pytest.approx(report.simulated_ms)
+        doubled = report.scaled_ms(2.0)
+        assert doubled < 2 * report.simulated_ms
+        assert doubled > report.simulated_ms
+        with pytest.raises(ValueError):
+            report.scaled_ms(0)
+
+    def test_compressed_decode_beats_uncompressed_read_plus_margin(self, rng):
+        # The paper's headline: decoding 16-bit packed data is cheaper
+        # than reading the uncompressed column.
+        n = 500_000
+        data = rng.integers(0, 2**16, n)
+        enc = get_codec("gpu-for").encode(data)
+        device = GPUDevice()
+        decode_ms = decompress(enc, device, write_back=False).simulated_ms
+        none_ms = read_uncompressed(n, GPUDevice())
+        assert decode_ms < none_ms
+
+
+class TestCascade:
+    @pytest.mark.parametrize(
+        "codec,expected_passes", [("gpu-for", 2), ("gpu-dfor", 3), ("gpu-rfor", 8)]
+    )
+    def test_pass_counts(self, rng, codec, expected_passes):
+        values = rng.integers(0, 2**10, 50_000)
+        enc = get_codec(codec).encode(values)
+        report = decompress_cascaded(enc, GPUDevice())
+        assert report.kernel_count == expected_passes
+        assert np.array_equal(report.values, values)
+
+    @pytest.mark.parametrize("codec", ["gpu-for", "gpu-dfor", "gpu-rfor"])
+    def test_cascade_slower_than_tile(self, rng, codec):
+        values = rng.integers(0, 2**10, 200_000)
+        enc = get_codec(codec).encode(values)
+        tile_ms = decompress(enc, GPUDevice()).simulated_ms
+        cascade_ms = decompress_cascaded(enc, GPUDevice()).simulated_ms
+        assert cascade_ms > 1.5 * tile_ms
+
+    def test_unpack_efficiency_slows_unpack(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        fast = decompress_cascaded(enc, GPUDevice(), unpack_efficiency=1.0)
+        slow = decompress_cascaded(enc, GPUDevice(), unpack_efficiency=0.5)
+        assert slow.simulated_ms > fast.simulated_ms
+
+    def test_bad_efficiency(self, uniform16):
+        enc = get_codec("gpu-for").encode(uniform16)
+        with pytest.raises(ValueError):
+            decompress_cascaded(enc, GPUDevice(), unpack_efficiency=0)
+
+
+class TestReadUncompressed:
+    def test_read_time_matches_bandwidth(self):
+        device = GPUDevice()
+        n = 220_000_000  # 880 MB = 1 ms at 880 GB/s
+        ms = read_uncompressed(n, device)
+        assert ms == pytest.approx(1.0 + 0.005, rel=1e-2)
+
+    def test_write_back_doubles_traffic(self):
+        read_only = read_uncompressed(10**7, GPUDevice())
+        copy = read_uncompressed(10**7, GPUDevice(), write_back=True)
+        assert copy > 1.5 * read_only
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            read_uncompressed(-1, GPUDevice())
+
+
+class TestColumnStats:
+    def test_sorted_detection(self):
+        assert ColumnStats.from_values(np.array([1, 2, 2, 3])).is_sorted
+        assert not ColumnStats.from_values(np.array([2, 1])).is_sorted
+
+    def test_run_length(self):
+        stats = ColumnStats.from_values(np.array([5, 5, 5, 5, 9, 9]))
+        assert stats.avg_run_length == 3.0
+        assert stats.distinct_count == 2
+
+    def test_bits(self):
+        stats = ColumnStats.from_values(np.array([100, 130]))
+        assert stats.raw_bits == 8
+        assert stats.for_bits == 5
+
+    def test_empty(self):
+        stats = ColumnStats.from_values(np.array([], dtype=np.int64))
+        assert stats.count == 0 and stats.is_sorted
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnStats.from_values(np.zeros((2, 2)))

@@ -1,0 +1,99 @@
+"""Remaining edge paths: serialization guards, corrupt streams, misc API."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import EncodedColumn, GpuVByte, Simple8b, get_codec, save_encoded
+from repro.formats.io import load_encoded
+from repro.gpusim import GPUDevice, Stopwatch
+
+
+class TestSerializationGuards:
+    def test_reserved_array_name_rejected(self):
+        enc = EncodedColumn(
+            codec="gpu-for",
+            count=0,
+            arrays={"__repro_meta__": np.zeros(1, np.uint8)},
+        )
+        with pytest.raises(ValueError, match="reserved"):
+            save_encoded(enc, io.BytesIO())
+
+    def test_version_mismatch_rejected(self, rng, tmp_path):
+        enc = get_codec("nsf").encode(rng.integers(0, 10, 100))
+        path = tmp_path / "c.npz"
+        save_encoded(enc, path)
+        # Tamper with the version field.
+        import json
+
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["__repro_meta__"].tobytes()))
+            arrays = {k: archive[k] for k in archive.files if k != "__repro_meta__"}
+        meta["version"] = 99
+        arrays["__repro_meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_encoded(path)
+
+
+class TestCorruptStreams:
+    def test_vbyte_count_mismatch_detected(self, rng):
+        enc = GpuVByte().encode(rng.integers(0, 100, 50))
+        # Set a continuation bit on the last byte: one value goes missing.
+        data = enc.arrays["data"].copy()
+        data[-1] |= 0x80
+        enc.arrays["data"] = data
+        with pytest.raises(ValueError, match="count mismatch"):
+            GpuVByte().decode(enc)
+
+    def test_simple8b_count_mismatch_detected(self, rng):
+        enc = Simple8b().encode(rng.integers(0, 100, 50))
+        truncated = EncodedColumn(
+            codec=enc.codec,
+            count=enc.count,
+            arrays={"data": enc.arrays["data"][:-1]},
+            dtype=enc.dtype,
+        )
+        with pytest.raises(ValueError, match="count mismatch"):
+            Simple8b().decode(truncated)
+
+    def test_simple8b_empty_stream_nonzero_count(self):
+        enc = EncodedColumn(
+            codec="simple8b",
+            count=5,
+            arrays={"data": np.zeros(0, np.uint64)},
+        )
+        with pytest.raises(ValueError, match="count mismatch"):
+            Simple8b().decode(enc)
+
+
+class TestMiscApi:
+    def test_encoded_column_repr(self, rng):
+        enc = get_codec("gpu-for").encode(rng.integers(0, 100, 256))
+        text = repr(enc)
+        assert "gpu-for" in text and "bits_per_int" in text
+
+    def test_stopwatch_tracks_transfers_too(self):
+        device = GPUDevice()
+        watch = Stopwatch(device)
+        device.transfer_to_device(10**7)
+        assert watch.lap_ms() > 0
+
+    def test_empty_column_bits_per_int(self):
+        enc = get_codec("nsf").encode(np.array([], dtype=np.int64))
+        assert enc.bits_per_int == 0.0
+
+    def test_registry_unknown_codec_message(self):
+        with pytest.raises(KeyError, match="available"):
+            get_codec("zstd")
+
+    def test_is_tile_codec(self):
+        from repro.formats import is_tile_codec
+
+        assert is_tile_codec("gpu-for")
+        assert is_tile_codec("gpu-rfor")
+        assert not is_tile_codec("nsf")
+        assert not is_tile_codec("pfor")

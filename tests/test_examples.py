@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in a subprocess with the repository defaults (the
+slowest, ssb_analytics, gets a small explicit scale factor).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "compression_advisor.py",
+    "coprocessor_pipeline.py",
+    "updates_and_persistence.py",
+    "out_of_core_cache.py",
+    "explain_queries.py",
+]
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_ssb_analytics_runs_small():
+    result = _run("ssb_analytics.py", "0.005")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "identical answers" in result.stdout
+    assert "geomean" in result.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"ssb_analytics.py"}
+    assert on_disk == covered, f"untested examples: {on_disk - covered}"

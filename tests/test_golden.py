@@ -1,0 +1,70 @@
+"""Golden regression tests for the calibrated performance model.
+
+The §4.2 ladder and the Figure 5 D-sweep are the two calibration anchors
+(docs/model_calibration.md): every other figure is *predicted* from the
+same constants.  These tests pin the anchors' simulated values so any
+change to the cost model that would silently shift the whole reproduction
+fails loudly here first.
+
+Tolerances are ±2% — tight enough to catch constant changes, loose enough
+to survive dataset-seed noise in compressed sizes.
+"""
+
+import pytest
+
+from repro.core.tile_decompress import decompress, read_uncompressed
+from repro.formats.registry import get_codec
+from repro.gpusim import GPUDevice
+from repro.workloads.synthetic import uniform_bitwidth
+
+_N = 400_000
+_SCALE = 500_000_000 / _N
+
+#: Pinned 500M-projected milliseconds (measured at calibration time).
+GOLDEN_LADDER = {0: 18.19, 1: 6.75, 2: 2.72, 3: 2.22}
+GOLDEN_READ_MS = 2.28
+GOLDEN_D_SWEEP = {1: 6.25, 2: 3.57, 4: 2.22, 8: 1.55, 16: 1.23, 32: 4.67}
+
+
+@pytest.fixture(scope="module")
+def data16():
+    return uniform_bitwidth(16, _N, seed=0)
+
+
+class TestGoldenLadder:
+    @pytest.mark.parametrize("opt", [0, 1, 2, 3])
+    def test_ladder_step(self, data16, opt):
+        enc = get_codec("gpu-for").encode(data16)
+        report = decompress(enc, GPUDevice(), opt_level=opt, write_back=False)
+        assert report.scaled_ms(_SCALE) == pytest.approx(GOLDEN_LADDER[opt], rel=0.02)
+
+    def test_uncompressed_read(self):
+        device = GPUDevice()
+        ms = read_uncompressed(_N, device)
+        overhead = device.spec.kernel_launch_us / 1000.0
+        projected = (ms - overhead) * _SCALE + overhead
+        assert projected == pytest.approx(GOLDEN_READ_MS, rel=0.02)
+
+
+class TestGoldenDSweep:
+    @pytest.mark.parametrize("d", [1, 2, 4, 8, 16, 32])
+    def test_d_value(self, data16, d):
+        enc = get_codec("gpu-for", d_blocks=d).encode(data16)
+        report = decompress(enc, GPUDevice(), write_back=False)
+        assert report.scaled_ms(_SCALE) == pytest.approx(GOLDEN_D_SWEEP[d], rel=0.02)
+
+
+class TestGoldenTraffic:
+    def test_compressed_bytes_deterministic(self, data16):
+        # Format-level golden value: 16-bit uniform at 0.75-bit overhead.
+        enc = get_codec("gpu-for").encode(data16)
+        assert enc.bits_per_int == pytest.approx(16.75, abs=0.02)
+
+    def test_traffic_accounting_deterministic(self, data16):
+        enc = get_codec("gpu-for").encode(data16)
+        a = decompress(enc, GPUDevice(), write_back=True)
+        device = GPUDevice()
+        b = decompress(enc, device, write_back=True)
+        assert a.simulated_ms == b.simulated_ms  # bit-for-bit deterministic
+        assert device.global_bytes_moved > enc.nbytes  # alignment waste exists
+        assert device.global_bytes_moved < enc.nbytes * 1.3 + enc.count * 4 + 4096

@@ -1,0 +1,248 @@
+"""GPU simulator: memory accounting, occupancy, cost model, device ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    A100,
+    V100,
+    GPUDevice,
+    GPUSpec,
+    KernelSpec,
+    PCIeSpec,
+    Stopwatch,
+    bandwidth_efficiency,
+    compute_occupancy,
+    gather_bytes,
+    linear_bytes,
+    segment_bytes,
+)
+from repro.gpusim.memory import SECTOR_BYTES, TrafficCounter
+
+
+class TestSpecs:
+    def test_v100_matches_paper(self):
+        assert V100.global_bandwidth_gbps == 880.0
+        assert V100.pcie.bandwidth_gbps == 12.8
+        assert V100.transaction_bytes == 128
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(global_bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            GPUSpec(transaction_bytes=100)
+        with pytest.raises(ValueError):
+            GPUSpec(latency_hiding_knee=0.0)
+
+    def test_pcie_transfer_time(self):
+        pcie = PCIeSpec(bandwidth_gbps=12.8, latency_us=0.0)
+        # 1.28 GB at 12.8 GB/s = 100 ms.
+        assert pcie.transfer_ms(1_280_000_000) == pytest.approx(100.0)
+
+    def test_pcie_negative_rejected(self):
+        with pytest.raises(ValueError):
+            V100.pcie.transfer_ms(-1)
+
+
+class TestMemoryMath:
+    def test_linear_rounds_to_transactions(self):
+        assert linear_bytes(1, 128) == 128
+        assert linear_bytes(128, 128) == 128
+        assert linear_bytes(129, 128) == 256
+        assert linear_bytes(0, 128) == 0
+
+    def test_segment_bytes_alignment(self):
+        # A 2-byte segment straddling a 128-byte boundary costs 2 windows.
+        assert segment_bytes(np.array([127]), np.array([2]), 128) == 256
+        assert segment_bytes(np.array([0]), np.array([128]), 128) == 128
+        assert segment_bytes(np.array([64]), np.array([128]), 128) == 256
+
+    def test_segments_do_not_share_transactions(self):
+        # Two tiny segments in the same window still cost one window each.
+        assert (
+            segment_bytes(np.array([0, 4]), np.array([4, 4]), 128) == 256
+        )
+
+    def test_zero_length_segments_free(self):
+        assert segment_bytes(np.array([5]), np.array([0]), 128) == 0
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            segment_bytes(np.array([0]), np.array([-1]), 128)
+        with pytest.raises(ValueError):
+            segment_bytes(np.array([0, 1]), np.array([1]), 128)
+
+    def test_gather_uses_sectors(self):
+        assert gather_bytes(10, 4) == 10 * SECTOR_BYTES
+        assert gather_bytes(10, 33) == 10 * 2 * SECTOR_BYTES
+        assert gather_bytes(0, 4) == 0
+
+    @given(st.integers(0, 10**6), st.integers(1, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_bounds(self, nbytes, tx_pow):
+        tx = 128
+        out = linear_bytes(nbytes, tx)
+        assert nbytes <= out < nbytes + tx
+
+
+class TestTrafficCounter:
+    def test_counts_accumulate(self):
+        t = TrafficCounter(V100)
+        t.read_linear(1000)
+        t.write_linear(500)
+        t.compute(42)
+        t.shared(10)
+        assert t.read_bytes == 1024
+        assert t.write_bytes == 512
+        assert t.compute_ops == 42
+        assert t.shared_bytes == 10
+        assert t.global_bytes == 1536
+
+    def test_region_bound_caps_dense_scatter(self):
+        t = TrafficCounter(V100)
+        t.write_scatter(1_000_000, 4, region_bytes=4096)
+        assert t.write_bytes == 4096
+
+    def test_sparse_gather_not_capped(self):
+        t = TrafficCounter(V100)
+        t.read_gather(10, 4, region_bytes=10**9)
+        assert t.read_bytes == 10 * SECTOR_BYTES
+
+    def test_spill_is_store_plus_load(self):
+        t = TrafficCounter(V100)
+        t.spill(128)
+        assert t.spill_bytes == 256
+
+    def test_merge(self):
+        a, b = TrafficCounter(V100), TrafficCounter(V100)
+        a.read_linear(128)
+        b.write_linear(128)
+        b.compute(5)
+        a.merge(b)
+        assert a.read_bytes == 128 and a.write_bytes == 128 and a.compute_ops == 5
+
+    def test_negative_rejected(self):
+        t = TrafficCounter(V100)
+        with pytest.raises(ValueError):
+            t.shared(-1)
+        with pytest.raises(ValueError):
+            t.compute(-1)
+
+
+class TestOccupancy:
+    def test_light_kernel_full_occupancy(self):
+        r = compute_occupancy(V100, 128, 32, 0)
+        assert r.occupancy == 1.0
+        assert r.spilled_registers == 0
+
+    def test_register_limited(self):
+        r = compute_occupancy(V100, 128, 64, 0)
+        # 64 regs * 128 threads = 8192 regs/block; 65536/8192 = 8 blocks.
+        assert r.blocks_per_sm == 8
+        assert r.limiter == "registers"
+
+    def test_shared_mem_limited(self):
+        r = compute_occupancy(V100, 128, 32, 16 * 1024)
+        assert r.blocks_per_sm == 6
+        assert r.limiter == "shared_mem"
+        assert r.occupancy == pytest.approx(6 * 128 / 2048)
+
+    def test_spilling_beyond_cap(self):
+        r = compute_occupancy(V100, 128, 80, 0)
+        assert r.allocated_registers == 64
+        assert r.spilled_registers == 16
+
+    def test_huge_smem_still_runs_one_block(self):
+        r = compute_occupancy(V100, 128, 32, 200 * 1024)
+        assert r.blocks_per_sm == 1
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, 16, 32, 0)
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, 2048, 32, 0)
+
+    def test_bandwidth_efficiency_knee(self):
+        assert bandwidth_efficiency(V100, 1.0) == 1.0
+        assert bandwidth_efficiency(V100, 0.5) == 1.0
+        assert bandwidth_efficiency(V100, 0.25) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            bandwidth_efficiency(V100, 1.5)
+
+
+class TestDevice:
+    def test_launch_prices_memory_time(self):
+        device = GPUDevice()
+        with device.launch("sweep", grid_blocks=1000) as k:
+            k.read_linear(880_000_000)  # exactly 1 ms at 880 GB/s
+        assert device.kernel_ms == pytest.approx(1.0 + 0.005, rel=1e-3)
+
+    def test_roofline_takes_max(self):
+        device = GPUDevice()
+        with device.launch("compute-bound", grid_blocks=10) as k:
+            k.read_linear(128)
+            k.compute(4_000_000_000)  # 1 ms at 4000 Gops
+        assert device.kernel_ms == pytest.approx(1.0 + 0.005, rel=1e-2)
+
+    def test_low_occupancy_slows_memory(self):
+        fast, slow = GPUDevice(), GPUDevice()
+        with fast.launch("a", grid_blocks=10) as k:
+            k.read_linear(10**8)
+        with slow.launch("b", grid_blocks=10, shared_mem_per_block=90_000) as k:
+            k.read_linear(10**8)
+        assert slow.kernel_ms > 5 * fast.kernel_ms
+
+    def test_spill_traffic_charged(self):
+        clean, spilled = GPUDevice(), GPUDevice()
+        with clean.launch("a", grid_blocks=1000, registers_per_thread=64):
+            pass
+        with spilled.launch("b", grid_blocks=1000, registers_per_thread=100):
+            pass
+        assert spilled.global_bytes_moved > clean.global_bytes_moved
+
+    def test_ledger_and_reset(self):
+        device = GPUDevice()
+        with device.launch("a", grid_blocks=1):
+            pass
+        device.transfer_to_device(1000)
+        assert device.kernel_count == 1
+        assert len(device.transfers) == 1
+        assert device.elapsed_ms > 0
+        device.reset()
+        assert device.kernel_count == 0 and device.elapsed_ms == 0
+
+    def test_transfer_directions(self):
+        device = GPUDevice()
+        device.transfer_to_device(10**6)
+        device.transfer_to_host(10**6)
+        assert [t.direction for t in device.transfers] == ["h2d", "d2h"]
+
+    def test_stopwatch_laps(self):
+        device = GPUDevice()
+        watch = Stopwatch(device)
+        with device.launch("a", grid_blocks=1) as k:
+            k.read_linear(880_000_000)
+        first = watch.lap_ms()
+        assert first == pytest.approx(device.elapsed_ms)
+        assert watch.lap_ms() == 0.0
+
+    def test_invalid_grid(self):
+        device = GPUDevice()
+        with pytest.raises(ValueError):
+            with device.launch("bad", grid_blocks=0):
+                pass
+
+    def test_kernel_spec_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", block_threads=8)
+        with pytest.raises(ValueError):
+            KernelSpec("x", registers_per_thread=0)
+
+    def test_a100_faster_than_v100(self):
+        v, a = GPUDevice(), GPUDevice(spec=A100)
+        for device in (v, a):
+            with device.launch("sweep", grid_blocks=100) as k:
+                k.read_linear(10**9)
+        assert a.kernel_ms < v.kernel_ms

@@ -1,0 +1,236 @@
+"""Scheme-selection layers: the Fang planner, the nvCOMP model, GPU-*."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import GPU_STAR_SCHEMES, choose_gpu_star, heuristic_scheme
+from repro.core.nvcomp import (
+    CHUNK_VALUES,
+    SCHEMES,
+    NvCompColumn,
+    decode_nvcomp,
+    decompress_nvcomp,
+    encode_nvcomp,
+)
+from repro.core.planner import (
+    CANDIDATE_PLANS,
+    decode_planned,
+    decompress_planned,
+    encode_with_plan,
+    plan_column,
+)
+from repro.core.stats import ColumnStats
+from repro.gpusim import GPUDevice
+
+
+class TestPlanner:
+    def test_every_plan_roundtrips(self, rng):
+        values = np.repeat(rng.integers(0, 64, 500), rng.integers(1, 6, 500))
+        for logical, terminal in CANDIDATE_PLANS:
+            try:
+                col = encode_with_plan(values, logical, terminal)
+            except ValueError:
+                continue
+            assert np.array_equal(decode_planned(col), values), (logical, terminal)
+
+    def test_picks_rle_for_runs(self, rng):
+        values = np.repeat(rng.integers(0, 100, 1000), 40)
+        assert plan_column(values).logical == "rle"
+
+    def test_picks_delta_for_dense_sorted(self, rng):
+        # Dense sorted keys: deltas are tiny, delta+NSF wins.
+        values = np.sort(rng.integers(0, 2**20, 500_000))
+        plan = plan_column(values)
+        assert plan.logical == "delta"
+        assert plan.bits_per_int < 10
+
+    def test_no_bitpacking_hurts_large_randoms(self, rng):
+        # The planner's structural weakness (Section 9.4).
+        values = rng.integers(0, 2**25, 50_000)
+        planned = plan_column(values)
+        from repro.core.hybrid import choose_gpu_star
+
+        star = choose_gpu_star(values)
+        assert planned.nbytes > 1.15 * star.encoded.nbytes
+
+    def test_nsv_on_negative_deltas_skipped(self, rng):
+        values = rng.integers(0, 2**8, 10_000)  # unsorted: deltas negative
+        plan = plan_column(values)
+        assert np.array_equal(decode_planned(plan), values)
+
+    def test_raw_fallback_exists(self):
+        col = encode_with_plan(np.array([1, 2, 3]), None, "none")
+        assert col.nbytes == 12
+        assert np.array_equal(decode_planned(col), [1, 2, 3])
+
+    def test_raw_fallback_rejects_logical_layer(self):
+        with pytest.raises(ValueError):
+            encode_with_plan(np.array([1]), "rle", "none")
+
+    def test_unknown_layer(self):
+        with pytest.raises(ValueError):
+            encode_with_plan(np.array([1]), "bogus", "nsf")
+
+    def test_decompress_kernels_match_plan_depth(self, rng):
+        values = np.repeat(rng.integers(0, 50, 300), 30)
+        col = encode_with_plan(values, "rle", "nsf")
+        report = decompress_planned(col, GPUDevice())
+        # 2 widen passes (values+lengths) + 4 RLE steps.
+        assert report.kernel_count == 6
+        assert np.array_equal(report.values, values)
+
+    def test_plan_name(self):
+        assert encode_with_plan(np.array([1]), None, "nsf").plan_name == "nsf"
+        assert (
+            encode_with_plan(np.array([1, 1]), "rle", "nsf").plan_name == "rle+nsf"
+        )
+
+
+class TestNvComp:
+    def test_auto_selection_matches_data(self, rng):
+        sorted_keys = np.arange(100_000)
+        runs = np.repeat(rng.integers(0, 50, 1000), 100)
+        uniform = rng.integers(0, 2**20, 100_000)
+        assert encode_nvcomp(sorted_keys).scheme == "delta-for-bitpack"
+        assert encode_nvcomp(runs).scheme == "rle-for-bitpack"
+        assert encode_nvcomp(uniform).scheme == "for-bitpack"
+
+    def test_explicit_scheme(self, rng):
+        values = rng.integers(0, 100, 10_000)
+        col = encode_nvcomp(values, scheme="for-bitpack")
+        assert col.scheme == "for-bitpack"
+        assert np.array_equal(decode_nvcomp(col), values)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            encode_nvcomp(np.array([1]), scheme="zstd")
+
+    def test_chunk_overhead(self, rng):
+        values = rng.integers(0, 100, CHUNK_VALUES * 10)
+        col = encode_nvcomp(values)
+        assert col.nbytes == col.inner.nbytes + 10 * 64
+
+    def test_slightly_worse_ratio_than_gpu_star(self, rng):
+        values = rng.integers(0, 2**16, 500_000)
+        nv = encode_nvcomp(values)
+        star = choose_gpu_star(values)
+        assert 1.0 < nv.nbytes / star.encoded.nbytes < 1.10
+
+    def test_decompress_slower_than_tile(self, rng):
+        from repro.core import decompress
+
+        values = rng.integers(0, 2**16, 200_000)
+        nv = encode_nvcomp(values)
+        star = choose_gpu_star(values)
+        nv_ms = decompress_nvcomp(nv, GPUDevice()).simulated_ms
+        star_ms = decompress(star.encoded, GPUDevice(), write_back=True).simulated_ms
+        assert 1.5 < nv_ms / star_ms < 5
+
+    def test_all_schemes_roundtrip(self, rng):
+        values = np.repeat(rng.integers(0, 1000, 2000), rng.integers(1, 8, 2000))
+        for scheme in SCHEMES:
+            col = encode_nvcomp(values, scheme=scheme)
+            assert np.array_equal(decode_nvcomp(col), values), scheme
+            report = decompress_nvcomp(col, GPUDevice())
+            assert np.array_equal(report.values, values), scheme
+
+
+class TestGpuStar:
+    def test_tries_all_three(self, rng):
+        choice = choose_gpu_star(rng.integers(0, 100, 10_000))
+        assert set(choice.candidate_bytes) == set(GPU_STAR_SCHEMES)
+
+    def test_picks_smallest(self, rng):
+        choice = choose_gpu_star(rng.integers(0, 100, 10_000))
+        assert choice.encoded.nbytes == min(choice.candidate_bytes.values())
+
+    @pytest.mark.parametrize(
+        "maker,expected",
+        [
+            (lambda rng: np.arange(200_000), "gpu-dfor"),
+            (lambda rng: np.repeat(rng.integers(0, 100, 2000), 100), "gpu-rfor"),
+            (lambda rng: rng.integers(0, 2**16, 200_000), "gpu-for"),
+        ],
+    )
+    def test_choice_tracks_distribution(self, rng, maker, expected):
+        assert choose_gpu_star(maker(rng)).codec_name == expected
+
+    def test_codec_property(self, rng):
+        choice = choose_gpu_star(rng.integers(0, 10, 1000))
+        assert choice.codec.name == choice.codec_name
+
+
+class TestHeuristic:
+    def test_runs_pick_rfor(self, rng):
+        stats = ColumnStats.from_values(np.repeat(rng.integers(0, 9, 500), 20))
+        assert heuristic_scheme(stats) == "gpu-rfor"
+
+    def test_sorted_unique_picks_dfor(self):
+        stats = ColumnStats.from_values(np.arange(100_000))
+        assert heuristic_scheme(stats) == "gpu-dfor"
+
+    def test_uniform_picks_for(self, rng):
+        stats = ColumnStats.from_values(rng.integers(0, 2**16, 100_000))
+        assert heuristic_scheme(stats) == "gpu-for"
+
+    def test_empty_defaults_to_for(self):
+        stats = ColumnStats.from_values(np.array([], dtype=np.int64))
+        assert heuristic_scheme(stats) == "gpu-for"
+
+    def test_heuristic_close_to_exact_on_ssb(self, ssb_db):
+        # The stats heuristic should agree with exhaustive search on most
+        # SSB columns (it is the documented Section 8 rule of thumb).
+        agree = 0
+        cols = list(ssb_db.lineorder)
+        for name in cols:
+            values = ssb_db.lineorder[name]
+            exact = choose_gpu_star(values).codec_name
+            guess = heuristic_scheme(ColumnStats.from_values(values))
+            agree += exact == guess
+        assert agree >= len(cols) // 2
+
+
+class TestStatsPlanner:
+    """The stats-driven planner variant vs the exhaustive oracle."""
+
+    def test_roundtrips(self, rng):
+        from repro.core.planner import decode_planned, plan_column_stats
+
+        for maker in (
+            lambda: rng.integers(0, 2**20, 5000),
+            lambda: np.sort(rng.integers(0, 2**16, 50_000)),
+            lambda: np.repeat(rng.integers(0, 40, 500), 20),
+        ):
+            values = maker()
+            col = plan_column_stats(values)
+            assert np.array_equal(decode_planned(col), values)
+
+    def test_never_beats_oracle(self, rng):
+        from repro.core.planner import plan_column, plan_column_stats
+
+        for maker in (
+            lambda: rng.integers(0, 2**12, 20_000),
+            lambda: np.sort(rng.integers(0, 2**18, 50_000)),
+            lambda: np.repeat(rng.integers(0, 40, 1000), 30),
+            lambda: rng.integers(0, 2**28, 10_000),
+        ):
+            values = maker()
+            oracle = plan_column(values).nbytes
+            stats = plan_column_stats(values).nbytes
+            assert stats >= oracle
+
+    def test_agrees_on_clear_cut_shapes(self, rng):
+        from repro.core.planner import plan_column, plan_column_stats
+
+        runs_col = np.repeat(rng.integers(0, 40, 1000), 30)
+        assert plan_column_stats(runs_col).logical == plan_column(runs_col).logical == "rle"
+        # Sorted, high cardinality (run length ~1): delta wins for both.
+        sorted_col = np.sort(rng.integers(0, 2**24, 200_000))
+        assert plan_column_stats(sorted_col).logical == plan_column(sorted_col).logical == "delta"
+
+    def test_negative_fallback(self):
+        from repro.core.planner import decode_planned, plan_column_stats
+
+        values = np.array([-(2**30), 2**30] * 100)
+        col = plan_column_stats(values)
+        assert np.array_equal(decode_planned(col), values)

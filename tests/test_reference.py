@@ -1,0 +1,103 @@
+"""The Algorithm 1 oracle and the Figure 4 worked example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import GpuFor, bitio
+from repro.formats.gpufor import pack_blocks
+from repro.formats.reference import (
+    algorithm1_decode,
+    algorithm1_decode_block,
+    algorithm1_decode_element,
+)
+
+
+class TestAlgorithm1:
+    def test_matches_vectorized_decoder(self, rng):
+        values = rng.integers(0, 2**16, 512)
+        enc = GpuFor().encode(values)
+        assert np.array_equal(algorithm1_decode(enc), values)
+
+    def test_matches_on_negative_references(self, rng):
+        values = rng.integers(-(2**20), 0, 256)
+        enc = GpuFor().encode(values)
+        assert np.array_equal(algorithm1_decode(enc), values)
+
+    def test_per_thread_indexing(self, rng):
+        # Thread t of block b decodes element b*128 + t, per the paper.
+        values = np.arange(384, dtype=np.int64) * 3
+        enc = GpuFor().encode(values)
+        item = algorithm1_decode_element(
+            enc.arrays["block_starts"], enc.arrays["data"], 2, 77
+        )
+        assert item == values[2 * 128 + 77]
+
+    def test_block_decode(self, rng):
+        values = rng.integers(0, 1000, 128)
+        enc = GpuFor().encode(values)
+        assert np.array_equal(algorithm1_decode_block(enc, 0), values)
+
+    def test_thread_id_validated(self, rng):
+        enc = GpuFor().encode(np.zeros(128, dtype=np.int64))
+        with pytest.raises(ValueError):
+            algorithm1_decode_element(
+                enc.arrays["block_starts"], enc.arrays["data"], 0, 128
+            )
+
+    def test_wrong_codec_rejected(self, rng):
+        from repro.formats import GpuBp
+
+        enc = GpuBp().encode(np.zeros(128, dtype=np.int64))
+        with pytest.raises(ValueError, match="GPU-FOR"):
+            algorithm1_decode_block(enc, 0)
+
+    @given(st.integers(0, 2**31), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_oracle_property(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**bits, 256)
+        enc = GpuFor().encode(values)
+        assert np.array_equal(algorithm1_decode(enc), values)
+
+
+class TestFigure4Example:
+    """The paper's worked example (Figure 4), adapted to our 32-value
+    miniblocks: same values, same FOR semantics, same per-value bits."""
+
+    VALUES = np.array(
+        [100, 101, 101, 102, 101, 101, 102, 101, 99, 100, 105, 107, 114, 112, 110, 105],
+        dtype=np.int64,
+    )
+    # Figure 4's diffs against the reference 99.
+    DIFFS = np.array([1, 2, 2, 3, 2, 2, 3, 2, 0, 1, 6, 8, 15, 13, 11, 6])
+
+    def test_reference_is_block_minimum(self):
+        # "The minimum value in the block (i.e., 99) is used as the reference."
+        padded = np.concatenate([self.VALUES, np.full(112, self.VALUES[-1])])
+        data, starts, _ = pack_blocks(padded)
+        assert int(np.int32(data[starts[0]])) == 99
+
+    def test_diffs_match_figure(self):
+        assert np.array_equal(self.VALUES - 99, self.DIFFS)
+
+    def test_first_half_needs_2_bits_second_needs_4(self):
+        # Figure 4: maxbits = 2 for the first miniblock, 4 for the second.
+        assert int(self.DIFFS[:8].max()).bit_length() == 2
+        assert int(self.DIFFS[8:].max()).bit_length() == 4
+
+    def test_packed_bits_decode_to_figure_values(self):
+        # Pack the two miniblocks at the figure's bitwidths and confirm
+        # each value occupies exactly its b-bit slot.
+        for chunk, bits in ((self.DIFFS[:8], 2), (self.DIFFS[8:], 4)):
+            words = bitio.pack_bits(chunk.astype(np.uint64), bits)
+            out = bitio.unpack_bits(words, 8, bits)
+            assert np.array_equal(out, chunk)
+            # 8 values at b bits span exactly b bytes of the stream.
+            assert words.size == bitio.words_needed(8, bits)
+
+    def test_roundtrip_through_real_format(self):
+        enc = GpuFor().encode(self.VALUES)
+        assert np.array_equal(GpuFor().decode(enc), self.VALUES)
+        assert np.array_equal(algorithm1_decode(enc), self.VALUES)

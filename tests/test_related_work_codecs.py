@@ -1,0 +1,191 @@
+"""Related-work codecs: GPU-VByte, PFOR, Simple-8b (Section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import GpuBp, GpuFor, get_codec
+from repro.formats.pfor import PFOR_BLOCK, Pfor, _best_bitwidth
+from repro.formats.simple8b import SELECTOR_TABLE, Simple8b
+from repro.formats.vbyte import GpuVByte
+
+
+class TestGpuVByte:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda rng: rng.integers(0, 128, 5000),           # 1 byte each
+            lambda rng: rng.integers(0, 2**28, 5000),         # 4 bytes each
+            lambda rng: rng.integers(0, 2**32, 5000),         # 5 bytes each
+            lambda rng: np.array([0]),
+            lambda rng: np.array([], dtype=np.int64),
+            lambda rng: np.array([127, 128, 16383, 16384]),   # width edges
+        ],
+    )
+    def test_roundtrip(self, rng, maker):
+        values = np.asarray(maker(rng), dtype=np.int64)
+        codec = GpuVByte()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_one_byte_for_small_values(self, rng):
+        enc = GpuVByte().encode(rng.integers(0, 128, 1000))
+        assert enc.arrays["data"].nbytes == 1000
+
+    def test_continuation_bits(self):
+        enc = GpuVByte().encode(np.array([300]))  # 2 bytes
+        data = enc.arrays["data"]
+        assert data[0] & 0x80  # continuation set on first byte
+        assert not (data[1] & 0x80)  # clear on last
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GpuVByte().encode(np.array([-1]))
+
+    def test_gpu_bp_dominates_on_uniform(self, rng):
+        # The paper's rationale for comparing only against GPU-BP.
+        values = rng.integers(0, 2**16, 50_000)
+        vbyte_bits = GpuVByte().encode(values).bits_per_int
+        bp_bits = GpuBp().encode(values).bits_per_int
+        assert bp_bits < vbyte_bits
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        codec = GpuVByte()
+        assert np.array_equal(codec.decode(codec.encode(arr)), arr)
+
+
+class TestPfor:
+    def test_roundtrip_uniform(self, rng):
+        values = rng.integers(0, 2**14, 10_000)
+        codec = Pfor()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_roundtrip_with_outliers(self, rng):
+        values = rng.integers(0, 16, 10_000)
+        values[::97] = 2**30
+        codec = Pfor()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_exceptions_beat_wide_packing(self, rng):
+        # One outlier per block: PFOR patches it; plain per-block packing
+        # pays 30 bits for everyone.
+        values = rng.integers(0, 16, 12_800)
+        values[::PFOR_BLOCK] = 2**29
+        pfor_bits = Pfor().encode(values).bits_per_int
+        bp_bits = GpuBp().encode(values).bits_per_int
+        assert pfor_bits < bp_bits / 3
+
+    def test_best_bitwidth_tradeoff(self):
+        # 127 tiny values + 1 huge: b should stay small with 1 exception.
+        diffs = np.zeros(PFOR_BLOCK, dtype=np.int64)
+        diffs[:127] = 3
+        diffs[127] = 2**20
+        bits, exc = _best_bitwidth(diffs)
+        assert bits <= 2 and exc == 1
+
+    def test_no_exceptions_when_uniform(self):
+        bits, exc = _best_bitwidth(np.full(PFOR_BLOCK, 6, dtype=np.int64))
+        assert exc == 0 and bits == 3
+
+    def test_negative_values_via_reference(self):
+        values = np.full(PFOR_BLOCK, -100, dtype=np.int64)
+        values[3] = -90
+        codec = Pfor()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_two_cascade_passes(self, rng):
+        enc = Pfor().encode(rng.integers(0, 100, 1000))
+        assert len(Pfor().cascade_passes(enc)) == 2
+
+    def test_empty_and_single(self):
+        codec = Pfor()
+        assert codec.decode(codec.encode(np.array([], dtype=np.int64))).size == 0
+        assert codec.decode(codec.encode(np.array([42])))[0] == 42
+
+    @given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        codec = Pfor()
+        assert np.array_equal(codec.decode(codec.encode(arr)), arr)
+
+
+class TestSimple8b:
+    def test_selector_table_is_canonical(self):
+        # Every selector's payload fits 60 bits and is maximal for its width.
+        for count, bits in SELECTOR_TABLE:
+            assert count * bits <= 60
+            assert (count + 1) * bits > 60 or count == 60
+
+    def test_roundtrip_small_values(self, rng):
+        values = rng.integers(0, 2, 5000)  # 1-bit: 60 per word
+        codec = Simple8b()
+        enc = codec.encode(values)
+        assert np.array_equal(codec.decode(enc), values)
+        assert enc.arrays["data"].size <= -(-5000 // 60) + 2
+
+    def test_zero_runs_use_special_selectors(self):
+        values = np.zeros(480, dtype=np.int64)
+        enc = Simple8b().encode(values)
+        assert enc.arrays["data"].size == 2  # two 240-zero words
+        assert np.array_equal(Simple8b().decode(enc), values)
+
+    def test_mixed_widths(self, rng):
+        values = np.concatenate(
+            [rng.integers(0, 2**b, 200) for b in (1, 4, 12, 30, 59)]
+        )
+        rng.shuffle(values)
+        codec = Simple8b()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Simple8b().encode(np.array([-1]))
+        with pytest.raises(ValueError):
+            Simple8b().encode(np.array([2**60]))
+
+    def test_beats_byte_aligned_on_small_ints(self, rng):
+        values = rng.integers(0, 8, 6000)  # 3-bit values
+        s8b = Simple8b().encode(values).bits_per_int
+        nsf = get_codec("nsf").encode(values).bits_per_int
+        assert s8b < nsf / 2
+
+    def test_loses_to_bit_aligned_on_awkward_widths(self, rng):
+        # 9-bit values: Simple-8b must use the 10-bit selector.
+        values = rng.integers(256, 512, 6000)
+        s8b = Simple8b().encode(values).bits_per_int
+        gfor = GpuFor().encode(values).bits_per_int
+        assert gfor < s8b
+
+    def test_empty_and_single(self):
+        codec = Simple8b()
+        assert codec.decode(codec.encode(np.array([], dtype=np.int64))).size == 0
+        assert codec.decode(codec.encode(np.array([59])))[0] == 59
+
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        codec = Simple8b()
+        assert np.array_equal(codec.decode(codec.encode(arr)), arr)
+
+
+class TestRelatedWorkExperiment:
+    def test_shapes(self):
+        from repro.experiments import related_work
+
+        rows = related_work.run(n=50_000)
+        by_dataset = {r["dataset"]: r for r in rows}
+        uniform = by_dataset["uniform-16bit"]
+        # GPU-BP dominates GPU-VByte (the paper's editorial choice) ...
+        assert uniform["rate gpu-bp"] < uniform["rate gpu-vbyte"]
+        assert uniform["time gpu-bp"] < uniform["time gpu-vbyte"]
+        # ... and GPU-FOR decodes fastest everywhere.
+        for r in rows:
+            for codec in ("gpu-bp", "gpu-vbyte", "pfor", "simple8b"):
+                assert r["time gpu-for"] <= r[f"time {codec}"] + 1e-9, (
+                    r["dataset"], codec,
+                )

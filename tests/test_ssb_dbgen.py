@@ -1,0 +1,134 @@
+"""SSB generator: schema invariants, determinism, Figure-9 distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import ColumnStats
+from repro.ssb import schema
+from repro.ssb.dbgen import generate
+from repro.ssb.loader import SYSTEMS, compress_column, load_lineorder
+
+
+class TestSchema:
+    def test_geography_hierarchy(self):
+        assert schema.nation_of_city(37) == 3
+        assert schema.region_of_nation(13) == 2
+        assert schema.NUM_CITIES == 250
+        assert schema.NUM_NATIONS == 25
+
+    def test_part_hierarchy(self):
+        assert schema.category_of_brand(279) == 6
+        assert schema.mfgr_of_category(6) == 1
+        assert schema.NUM_BRANDS == 1000
+
+    def test_parts_for_sf(self):
+        assert schema.parts_for_sf(1) == 200_000
+        assert schema.parts_for_sf(4) == 600_000
+        with pytest.raises(ValueError):
+            schema.parts_for_sf(0)
+
+
+class TestDbgen:
+    def test_deterministic(self):
+        a = generate(scale_factor=0.01, seed=3)
+        b = generate(scale_factor=0.01, seed=3)
+        for col in a.lineorder:
+            assert np.array_equal(a.lineorder[col], b.lineorder[col])
+
+    def test_seed_changes_data(self):
+        a = generate(scale_factor=0.01, seed=3)
+        b = generate(scale_factor=0.01, seed=4)
+        assert not np.array_equal(a.lineorder["lo_partkey"], b.lineorder["lo_partkey"])
+
+    def test_date_dimension_shape(self, ssb_db):
+        d = ssb_db.date
+        assert d["d_datekey"].size == 2557  # 1992-1998 with two leap years
+        assert d["d_year"].min() == 1992 and d["d_year"].max() == 1998
+        assert np.all(np.diff(d["d_datekey"]) > 0)
+
+    def test_datekey_format(self, ssb_db):
+        key = int(ssb_db.date["d_datekey"][59])  # 1992-02-29 (leap year)
+        assert key == 19920229
+
+    def test_foreign_keys_resolve(self, ssb_db):
+        lo = ssb_db.lineorder
+        assert lo["lo_custkey"].max() <= ssb_db.customer["c_custkey"].max()
+        assert lo["lo_suppkey"].max() <= ssb_db.supplier["s_suppkey"].max()
+        assert lo["lo_partkey"].max() <= ssb_db.part["p_partkey"].max()
+        assert np.isin(lo["lo_orderdate"], ssb_db.date["d_datekey"]).all()
+        assert np.isin(lo["lo_commitdate"], ssb_db.date["d_datekey"]).all()
+
+    def test_orderkey_sorted_with_runs(self, ssb_db):
+        stats = ColumnStats.from_values(ssb_db.lineorder["lo_orderkey"])
+        assert stats.is_sorted
+        assert 2.5 < stats.avg_run_length < 6
+
+    def test_per_order_columns_have_runs(self, ssb_db):
+        # The Figure 9 story: orderdate/custkey/ordtotalprice repeat per
+        # order, giving average run length ~4.
+        for col in ("lo_orderdate", "lo_custkey", "lo_ordtotalprice"):
+            stats = ColumnStats.from_values(ssb_db.lineorder[col])
+            assert stats.avg_run_length > 2.5, col
+
+    def test_line_numbers_within_orders(self, ssb_db):
+        lo = ssb_db.lineorder
+        first_of_order = np.flatnonzero(np.diff(lo["lo_orderkey"], prepend=-1))
+        assert np.all(lo["lo_linenumber"][first_of_order] == 1)
+        assert lo["lo_linenumber"].max() <= schema.MAX_LINES_PER_ORDER
+
+    def test_value_domains(self, ssb_db):
+        lo = ssb_db.lineorder
+        assert lo["lo_quantity"].min() >= 1 and lo["lo_quantity"].max() <= 50
+        assert lo["lo_discount"].min() >= 0 and lo["lo_discount"].max() <= 10
+        assert lo["lo_tax"].min() >= 0 and lo["lo_tax"].max() <= 8
+
+    def test_derived_columns_consistent(self, ssb_db):
+        lo = ssb_db.lineorder
+        price = ssb_db.part["p_price"][lo["lo_partkey"] - 1]
+        assert np.array_equal(lo["lo_extendedprice"], lo["lo_quantity"] * price)
+        expected_rev = lo["lo_extendedprice"] * (100 - lo["lo_discount"]) // 100
+        assert np.array_equal(lo["lo_revenue"], expected_rev)
+
+    def test_ordtotalprice_sums_lines(self, ssb_db):
+        lo = ssb_db.lineorder
+        order_ids = lo["lo_orderkey"]
+        totals = np.bincount(order_ids, weights=lo["lo_extendedprice"])
+        assert np.array_equal(
+            lo["lo_ordtotalprice"], totals[order_ids].astype(np.int64)
+        )
+
+    def test_commitdate_after_orderdate(self, ssb_db):
+        lo = ssb_db.lineorder
+        assert np.all(lo["lo_commitdate"] >= lo["lo_orderdate"])
+
+    def test_table_accessor(self, ssb_db):
+        assert ssb_db.table("customer") is ssb_db.customer
+        with pytest.raises(KeyError):
+            ssb_db.table("orders")
+
+
+class TestLoader:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_all_systems_roundtrip_values(self, ssb_db, system):
+        store = load_lineorder(ssb_db, system)
+        for name, col in store.columns.items():
+            assert np.array_equal(col.values, ssb_db.lineorder[name]), (system, name)
+
+    def test_unknown_system(self, ssb_db):
+        with pytest.raises(ValueError):
+            compress_column("x", ssb_db.lineorder["lo_tax"], "zip")
+
+    def test_gpu_star_smaller_than_none(self, ssb_db):
+        none = load_lineorder(ssb_db, "none")
+        star = load_lineorder(ssb_db, "gpu-star")
+        assert none.total_bytes / star.total_bytes > 2.0
+
+    def test_nvcomp_within_percent_of_star(self, ssb_db):
+        star = load_lineorder(ssb_db, "gpu-star")
+        nv = load_lineorder(ssb_db, "nvcomp")
+        assert 0.98 < nv.total_bytes / star.total_bytes < 1.15
+
+    def test_expected_scheme_choices(self, gpu_star_store):
+        assert gpu_star_store["lo_orderkey"].codec_name == "gpu-dfor"
+        assert gpu_star_store["lo_orderdate"].codec_name == "gpu-rfor"
+        assert gpu_star_store["lo_extendedprice"].codec_name == "gpu-for"

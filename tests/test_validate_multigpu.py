@@ -1,0 +1,159 @@
+"""Format validation and multi-GPU sharding."""
+
+import numpy as np
+import pytest
+
+from repro.formats import get_codec
+from repro.formats.validate import CorruptColumnError, validate_encoded
+from repro.gpusim import V100
+from repro.gpusim.multigpu import ShardedDevice
+
+
+class TestValidate:
+    @pytest.mark.parametrize(
+        "codec", ["gpu-for", "gpu-dfor", "gpu-rfor", "gpu-bp", "nsf", "nsv", "rle"]
+    )
+    def test_fresh_encodings_validate(self, rng, codec):
+        values = np.repeat(rng.integers(0, 500, 800), rng.integers(1, 5, 800))
+        enc = get_codec(codec).encode(values)
+        validate_encoded(enc)  # must not raise
+
+    def test_detects_truncated_data(self, rng):
+        enc = get_codec("gpu-for").encode(rng.integers(0, 2**16, 5000))
+        enc.arrays["data"] = enc.arrays["data"][:-10]
+        with pytest.raises(CorruptColumnError, match="past the data"):
+            validate_encoded(enc)
+
+    def test_detects_non_monotone_starts(self, rng):
+        enc = get_codec("gpu-for").encode(rng.integers(0, 2**16, 5000))
+        starts = enc.arrays["block_starts"].copy()
+        starts[2], starts[3] = starts[3], starts[2]
+        enc.arrays["block_starts"] = starts
+        with pytest.raises(CorruptColumnError, match="monotone"):
+            validate_encoded(enc)
+
+    def test_detects_corrupted_bitwidth_word(self, rng):
+        enc = get_codec("gpu-for").encode(rng.integers(0, 2**16, 5000))
+        data = enc.arrays["data"].copy()
+        start = int(enc.arrays["block_starts"][0])
+        data[start + 1] ^= 0x07  # nudge the first miniblock's bitwidth
+        enc.arrays["data"] = data
+        with pytest.raises(CorruptColumnError, match="disagree"):
+            validate_encoded(enc)
+
+    def test_detects_oversized_bitwidth(self, rng):
+        enc = get_codec("gpu-for").encode(rng.integers(0, 2**16, 5000))
+        data = enc.arrays["data"].copy()
+        start = int(enc.arrays["block_starts"][0])
+        data[start + 1] = 0xFF  # 255-bit miniblock
+        enc.arrays["data"] = data
+        with pytest.raises(CorruptColumnError, match="exceeds 32"):
+            validate_encoded(enc)
+
+    def test_detects_bad_run_counts(self, rng):
+        enc = get_codec("gpu-rfor").encode(rng.integers(0, 10, 2048))
+        counts = enc.arrays["run_counts"].copy()
+        counts[0] = 0
+        enc.arrays["run_counts"] = counts
+        with pytest.raises(CorruptColumnError, match="zero runs"):
+            validate_encoded(enc)
+
+    def test_detects_rle_sum_mismatch(self, rng):
+        enc = get_codec("rle").encode(np.repeat(rng.integers(0, 9, 100), 3))
+        lengths = enc.arrays["lengths"].copy()
+        lengths[0] += 1
+        enc.arrays["lengths"] = lengths
+        with pytest.raises(CorruptColumnError, match="sum"):
+            validate_encoded(enc)
+
+    def test_detects_dfor_first_values_mismatch(self, rng):
+        enc = get_codec("gpu-dfor").encode(np.sort(rng.integers(0, 1000, 3000)))
+        enc.arrays["first_values"] = enc.arrays["first_values"][:-1]
+        with pytest.raises(CorruptColumnError, match="first_values"):
+            validate_encoded(enc)
+
+    def test_detects_nsf_length_mismatch(self, rng):
+        enc = get_codec("nsf").encode(rng.integers(0, 200, 100))
+        enc.arrays["data"] = enc.arrays["data"][:-1]
+        with pytest.raises(CorruptColumnError, match="length"):
+            validate_encoded(enc)
+
+
+class TestShardedDevice:
+    def test_shard_sizes_cover_total(self):
+        sharded = ShardedDevice(num_devices=3)
+        assert sum(sharded.shard_sizes(1_000_001)) == 1_000_001
+        assert max(sharded.shard_sizes(10)) - min(sharded.shard_sizes(10)) <= 1
+
+    def test_run_sharded_executes_per_device(self):
+        sharded = ShardedDevice(num_devices=4)
+
+        def work(device, items):
+            with device.launch("scan", grid_blocks=max(1, items // 512)) as k:
+                k.read_linear(items * 4)
+            return items
+
+        results = sharded.run_sharded(work, 1_000_000)
+        assert sum(results) == 1_000_000
+        assert all(d.kernel_count == 1 for d in sharded.devices)
+
+    def test_wall_clock_is_max_not_sum(self):
+        sharded = ShardedDevice(num_devices=4)
+
+        def work(device, items):
+            with device.launch("scan", grid_blocks=max(1, items // 512)) as k:
+                k.read_linear(items * 4)
+
+        sharded.run_sharded(work, 4_000_000)
+        assert sharded.elapsed_ms < sharded.total_device_ms / 2
+
+    def test_scaling_shrinks_wall_clock(self):
+        def work(device, items):
+            with device.launch("scan", grid_blocks=max(1, items // 512)) as k:
+                k.read_linear(items * 4)
+
+        times = {}
+        for k in (1, 4):
+            sharded = ShardedDevice(num_devices=k)
+            sharded.run_sharded(work, 100_000_000)
+            times[k] = sharded.elapsed_ms
+        assert times[4] < times[1] / 3
+
+    def test_merge_charged_to_wall_clock(self):
+        sharded = ShardedDevice(num_devices=2)
+        before = sharded.elapsed_ms
+        ms = sharded.merge_results(50_000_000)
+        assert ms > 0
+        assert sharded.elapsed_ms == pytest.approx(before + ms)
+
+    def test_capacity_scales(self):
+        assert (
+            ShardedDevice(num_devices=3).capacity_bytes
+            == 3 * V100.global_capacity_bytes
+        )
+
+    def test_reset(self):
+        sharded = ShardedDevice(num_devices=2)
+        sharded.merge_results(1000)
+        sharded.reset()
+        assert sharded.elapsed_ms == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedDevice(num_devices=0)
+        with pytest.raises(ValueError):
+            ShardedDevice(num_devices=2).merge_results(-1)
+
+
+class TestPlannerObsoleteExperiment:
+    def test_tile_regret_below_cascade_regret(self):
+        from repro.experiments import planner_obsolete
+
+        rows = planner_obsolete.run(n=150_000)
+        for r in rows:
+            assert r["tile_regret"] <= r["cascade_regret"] + 1e-9, r["column"]
+        # And on at least one column the cascade regret is material (>1.5x)
+        # while tile stays close to 1 — the planner's raison d'etre gone.
+        assert any(
+            r["cascade_regret"] > 1.5 and r["tile_regret"] < 1.6 for r in rows
+        )

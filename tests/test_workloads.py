@@ -1,0 +1,103 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    d1_sorted,
+    d2_normal,
+    d3_zipf,
+    runs,
+    sorted_keys,
+    uniform_bitwidth,
+)
+
+
+class TestUniformBitwidth:
+    @pytest.mark.parametrize("bits", [1, 2, 16, 31, 32])
+    def test_range(self, bits):
+        data = uniform_bitwidth(bits, 10_000)
+        assert data.min() >= 0
+        assert int(data.max()) < 2**bits
+        if bits <= 16:
+            assert int(data.max()).bit_length() == bits  # actually uses them
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_bitwidth(8, 100, 1), uniform_bitwidth(8, 100, 1))
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            uniform_bitwidth(0, 10)
+        with pytest.raises(ValueError):
+            uniform_bitwidth(33, 10)
+
+
+class TestD1:
+    def test_sorted(self):
+        data = d1_sorted(1000, 50_000)
+        assert np.all(np.diff(data) >= 0)
+
+    def test_cardinality_tracked(self):
+        few = d1_sorted(4, 10_000)
+        many = d1_sorted(2**20, 100_000)
+        assert np.unique(few).size <= 4
+        assert np.unique(many).size > 50_000
+
+    def test_low_cardinality_long_runs(self):
+        data = d1_sorted(4, 10_000)
+        changes = np.count_nonzero(np.diff(data)) + 1
+        assert 10_000 / changes > 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            d1_sorted(0, 10)
+
+
+class TestD2:
+    def test_mean_and_sigma(self):
+        data = d2_normal(2**20, 100_000)
+        assert abs(data.mean() - 2**20) < 5
+        assert 18 < data.std() < 22
+
+    def test_clamped_non_negative(self):
+        data = d2_normal(0, 10_000)
+        assert data.min() >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            d2_normal(-5, 10)
+
+
+class TestD3:
+    def test_skew_increases_with_alpha(self):
+        mild = d3_zipf(1.2, 50_000)
+        steep = d3_zipf(5.0, 50_000)
+        # Higher alpha concentrates mass on the smallest codes.
+        assert (steep == 0).mean() > (mild == 0).mean()
+        assert steep.max() < mild.max()
+
+    def test_codes_in_vocabulary(self):
+        data = d3_zipf(2.0, 10_000, vocabulary=500)
+        assert data.max() < 500
+
+    def test_alpha_must_normalize(self):
+        with pytest.raises(ValueError):
+            d3_zipf(1.0, 100)
+
+
+class TestHelpers:
+    def test_sorted_keys(self):
+        keys = sorted_keys(100)
+        assert keys[0] == 1 and keys[-1] == 100
+
+    def test_runs_average_length(self):
+        data = runs(50, 100_000)
+        changes = np.count_nonzero(np.diff(data)) + 1
+        assert 25 < 100_000 / changes < 100
+
+    def test_runs_exact_size(self):
+        assert runs(7, 12_345).size == 12_345
+
+    def test_runs_validation(self):
+        with pytest.raises(ValueError):
+            runs(0, 100)
