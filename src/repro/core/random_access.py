@@ -55,6 +55,24 @@ def _resolve(enc: EncodedColumn, codec: TileCodec | None) -> TileCodec:
     return codec
 
 
+def coalesce_tile_runs(tile_ids: np.ndarray) -> list[tuple[int, int]]:
+    """Group sorted tile ids into maximal ``[first, last)`` runs.
+
+    Adjacent requested tiles decode in one batched ``decode_range`` call
+    instead of one Python-level ``decode_tile`` call each — the same
+    amortization the paper's thread-block grid gets for free.
+    """
+    tile_ids = np.asarray(tile_ids, dtype=np.int64)
+    if tile_ids.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(tile_ids) > 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [tile_ids.size - 1]])
+    return [
+        (int(tile_ids[s]), int(tile_ids[e]) + 1) for s, e in zip(starts, ends)
+    ]
+
+
 def _per_tile_bytes(codec: TileCodec, enc: EncodedColumn, tx: int) -> np.ndarray:
     """Aligned read bytes per tile, from the codec's segment map."""
     starts, lengths = codec.tile_segments(enc)
@@ -134,10 +152,10 @@ def gather(
     ms = _touch_tiles(enc, codec, device, active, extra_read_bytes=indices.size * 8)
 
     values = np.empty(indices.size, dtype=enc.dtype)
-    for t in np.flatnonzero(active):
-        sel = tile_of == t
-        tile_values = codec.decode_tile(enc, int(t))
-        values[sel] = tile_values[indices[sel] - t * tile_elems]
+    for t0, t1 in coalesce_tile_runs(np.flatnonzero(active)):
+        sel = (tile_of >= t0) & (tile_of < t1)
+        run_values = codec.decode_range(enc, t0, t1)
+        values[sel] = run_values[indices[sel] - t0 * tile_elems]
     return RandomAccessReport(
         values=values,
         simulated_ms=ms,
@@ -182,10 +200,10 @@ def filtered_scan(
     ms = _touch_tiles(enc, codec, device, active, extra_read_bytes=enc.count // 8)
 
     parts = []
-    for t in np.flatnonzero(active):
-        tile_values = codec.decode_tile(enc, int(t))
-        tile_mask = padded[t * tile_elems : t * tile_elems + tile_values.size]
-        parts.append(tile_values[tile_mask])
+    for t0, t1 in coalesce_tile_runs(np.flatnonzero(active)):
+        run_values = codec.decode_range(enc, t0, t1)
+        run_mask = padded[t0 * tile_elems : t0 * tile_elems + run_values.size]
+        parts.append(run_values[run_mask])
     values = (
         np.concatenate(parts) if parts else np.zeros(0, dtype=enc.dtype)
     )

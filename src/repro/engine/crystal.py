@@ -97,6 +97,7 @@ class CrystalEngine:
         self.num_rows = db.num_lineorder_rows
         self.num_tiles = -(-self.num_rows // TILE)
         self._tile_bytes_cache: dict[str, np.ndarray] = {}
+        self._decoded_cache: dict[str, np.ndarray] = {}
         self._staged = store.system == "omnisci"
         self._last_timeline: list[dict] = []
 
@@ -105,6 +106,28 @@ class CrystalEngine:
     def column_inline(self, name: str) -> bool:
         """Whether this column decodes inline in the fact kernel."""
         return self.store.system == "gpu-star" and self.store[name].codec_name != ""
+
+    def column_values(self, name: str) -> np.ndarray:
+        """The decoded values a fact-kernel column load produces.
+
+        Inline-compressed columns really are decoded from their encoded
+        payload — through the batched ``decode_range`` over the whole
+        tile grid, mirroring the one-thread-block-per-tile kernel — so
+        every query exercises the codec's decode path end to end.  The
+        result is cached: within one engine the column's decoded image is
+        reused across queries, like a device-resident decode buffer.
+        """
+        col = self.store[name]
+        if not self.column_inline(name):
+            return col.values
+        cached = self._decoded_cache.get(name)
+        if cached is None:
+            codec = get_codec(col.codec_name)
+            assert isinstance(codec, TileCodec)
+            enc = col.payload
+            cached = codec.decode_range(enc, 0, codec.num_tiles(enc))
+            self._decoded_cache[name] = cached
+        return cached
 
     def tile_read_bytes(self, name: str) -> np.ndarray:
         """Aligned global-memory bytes each engine tile reads for a column."""
@@ -330,7 +353,7 @@ class FactPipeline:
         else:
             self._extra_regs += D_PER_THREAD
             self._compute += active_rows  # BlockLoad index arithmetic
-        return col.values
+        return engine.column_values(name)
 
     def filter(self, rowmask: np.ndarray) -> None:
         """AND a row predicate into the pipeline's selection."""

@@ -141,12 +141,47 @@ class ColumnCodec(abc.ABC):
         """Kernel passes a layer-at-a-time decompressor needs (Figure 2 left)."""
 
 
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated (vectorized)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total) - np.repeat(offsets, counts)
+
+
+def trim_tile_chunks(
+    values: np.ndarray, chunk_lens: np.ndarray, keep_lens: np.ndarray
+) -> np.ndarray:
+    """Keep the first ``keep_lens[i]`` elements of each concatenated chunk.
+
+    ``values`` is the concatenation of per-tile decoded chunks of
+    ``chunk_lens[i]`` elements (block-padded); the survivors are each
+    tile's logical elements, with the final tile's padding dropped.
+    """
+    chunk_lens = np.asarray(chunk_lens, dtype=np.int64)
+    keep_lens = np.asarray(keep_lens, dtype=np.int64)
+    if int(chunk_lens.sum()) != values.size:
+        raise ValueError("chunk lengths do not cover the decoded values")
+    if np.array_equal(chunk_lens, keep_lens):
+        return values  # nothing to trim (whole-tile chunks, full last tile)
+    within = ragged_arange(chunk_lens)
+    return values[within < np.repeat(keep_lens, chunk_lens)]
+
+
 class TileCodec(ColumnCodec):
     """A codec with the two tile properties of Section 3.
 
     Tiles are groups of ``d_blocks`` format blocks; a tile is decoded
     entirely in shared memory by one thread block, optionally inline with
     query execution.
+
+    **Empty-column contract:** an empty column encodes to zero tiles
+    (``num_tiles == 0``), decodes back to an empty array of the original
+    dtype, yields empty ``tile_segments``, and ``decode_tile`` /
+    ``decode_tiles`` / ``decode_range`` raise :class:`IndexError` for any
+    requested tile — iterating ``range(num_tiles(enc))`` therefore
+    round-trips every column, including the empty one.
     """
 
     #: Elements per format block (128 for *FOR/DFOR, 512 for RFOR).
@@ -165,12 +200,88 @@ class TileCodec(ColumnCodec):
         per_tile = self.tile_elements(enc)
         return -(-enc.count // per_tile)
 
+    def check_tile_index(self, enc: EncodedColumn, tile_idx: int) -> None:
+        """Raise :class:`IndexError` unless ``0 <= tile_idx < num_tiles``.
+
+        The shared bounds check of the tile contract: every codec raises
+        the same error for out-of-range tiles, and an empty column
+        (zero tiles) rejects *every* index instead of crashing somewhere
+        deeper in the decoder.
+        """
+        n_tiles = self.num_tiles(enc)
+        if not 0 <= tile_idx < n_tiles:
+            raise IndexError(
+                f"tile {tile_idx} out of range for column with {n_tiles} tiles"
+            )
+
+    def _validate_tile_indices(
+        self, enc: EncodedColumn, tile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Normalize and bounds-check a batch of tile indices."""
+        tiles = np.atleast_1d(np.asarray(tile_indices, dtype=np.int64))
+        if tiles.ndim != 1:
+            raise ValueError("tile_indices must be one-dimensional")
+        if tiles.size:
+            n_tiles = self.num_tiles(enc)
+            lo, hi = int(tiles.min()), int(tiles.max())
+            if lo < 0 or hi >= n_tiles:
+                bad = lo if lo < 0 else hi
+                raise IndexError(
+                    f"tile {bad} out of range for column with {n_tiles} tiles"
+                )
+        return tiles
+
     @abc.abstractmethod
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         """Decode one tile's values (the device-function equivalent).
 
         The last tile may be shorter than :meth:`tile_elements`.
         """
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        """Decode a batch of tiles and concatenate their values.
+
+        The batched counterpart of :meth:`decode_tile` — one grid launch
+        over many thread blocks rather than one block at a time.  Tiles
+        are decoded in the order given; indices may repeat.  The base
+        implementation loops; the GPU-* codecs override it with a single
+        vectorized pass over the whole batch.
+
+        Args:
+            enc: the compressed column.
+            tile_indices: tile numbers to decode, each in
+                ``[0, num_tiles)``.  An empty batch decodes to an empty
+                array.
+
+        Returns:
+            The tiles' values concatenated, in the column's dtype.
+        """
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        return np.concatenate([self.decode_tile(enc, int(t)) for t in tiles])
+
+    def decode_range(
+        self, enc: EncodedColumn, first_tile: int, last_tile: int
+    ) -> np.ndarray:
+        """Decode the contiguous tile range ``[first_tile, last_tile)``.
+
+        Args:
+            enc: the compressed column.
+            first_tile: first tile to decode (inclusive).
+            last_tile: one past the last tile to decode; must satisfy
+                ``0 <= first_tile <= last_tile <= num_tiles``.
+
+        Returns:
+            The range's values concatenated, in the column's dtype.
+        """
+        n_tiles = self.num_tiles(enc)
+        if not 0 <= first_tile <= last_tile <= n_tiles:
+            raise IndexError(
+                f"tile range [{first_tile}, {last_tile}) out of range for "
+                f"column with {n_tiles} tiles"
+            )
+        return self.decode_tiles(enc, np.arange(first_tile, last_tile))
 
     @abc.abstractmethod
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:

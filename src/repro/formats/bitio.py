@@ -58,11 +58,20 @@ def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
     """
     values = np.ascontiguousarray(values, dtype=np.uint64)
     if not 0 <= bits <= MAX_BITS:
-        raise ValueError(f"bits must be in [0, 32], got {bits}")
+        raise ValueError(f"bits must be in [0, {MAX_BITS}], got {bits}")
     n = values.size
-    if n == 0 or bits == 0:
+    if bits == 0:
+        # A zero-width stream can only represent zeros; reject anything
+        # else instead of silently packing it to nothing.
+        if n and np.any(values):
+            raise ValueError("values do not fit in 0 bits")
         return np.zeros(words_needed(n, bits), dtype=np.uint32)
-    if bits < 64 and np.any(values >> np.uint64(bits)):
+    if n == 0:
+        return np.zeros(words_needed(n, bits), dtype=np.uint32)
+    # bits is in [1, 32] here, so the uint64 shift is always well-defined
+    # (the old `bits < 64` guard skipped validation paths it never needed
+    # to and sat one step from undefined behaviour at width 63).
+    if np.any(values >> np.uint64(bits)):
         raise ValueError(f"values do not fit in {bits} bits")
 
     # Explode each value into its `bits` little-endian bits, concatenate
@@ -98,21 +107,42 @@ def unpack_bits(words: np.ndarray, count: int, bits: int) -> np.ndarray:
     if words.size < needed:
         raise ValueError(f"stream has {words.size} words, need {needed}")
 
-    stream = np.unpackbits(
-        words[:needed].astype("<u4").view(np.uint8),
-        bitorder="little",
-        count=count * bits,
+    # Value i occupies bits [i*bits, (i+1)*bits) of the stream, so with
+    # bits <= 32 it straddles at most two adjacent words.  View the
+    # stream as overlapping 64-bit windows (stride 4 bytes); window w
+    # holds words w and w+1, so value i is `(windows[i*bits//32] >>
+    # (i*bits % 32)) & mask` — the CUDA kernel's extraction.
+    #
+    # The bit offsets i*bits mod 32 repeat with period P = 32/gcd(bits,
+    # 32), and within one phase the window index advances by the
+    # constant stride S = bits/gcd(bits, 32).  Each phase is therefore a
+    # plain strided slice with a *scalar* shift: P slice-shift-mask
+    # passes replace per-value index arrays and a 16M-wide gather.
+    w = np.empty(needed + 1, dtype=np.uint32)
+    w[:needed] = words[:needed]
+    w[needed] = 0  # high-word sentinel for the final value
+    windows = np.ndarray(
+        shape=(needed,), dtype=np.uint64, buffer=w.data, strides=(4,)
     )
-    value_bits = stream.reshape(count, bits)
-    padded = np.zeros((count, 64), dtype=np.uint8)
-    padded[:, :bits] = value_bits
-    return (
-        np.packbits(padded, axis=1, bitorder="little")
-        .copy()
-        .view("<u8")
-        .ravel()
-        .astype(np.uint32)
-    )
+    # Truncating to uint32 drops window bits >= 32; the mask (which fits
+    # uint32 for every bits <= 32) then drops bits >= `bits`.
+    mask = np.uint32((1 << bits) - 1)
+    if count < 4096:
+        # Small batch: one fancy-indexed gather beats paying the slice
+        # setup once per phase.
+        pos = np.arange(count, dtype=np.int64) * bits
+        shift = (pos & 31).astype(np.uint64)
+        return (windows[pos >> 5] >> shift).astype(np.uint32) & mask
+    g = np.gcd(bits, WORD_BITS)
+    period = WORD_BITS // g
+    stride = bits // g
+    out = np.empty(count, dtype=np.uint32)
+    for p in range(min(period, count)):
+        n_p = -(-(count - p) // period)  # values in phase p
+        phase = windows[(p * bits) >> 5 :: stride][:n_p]
+        out[p::period] = (phase >> np.uint64((p * bits) & 31)).astype(np.uint32)
+    out &= mask
+    return out
 
 
 def pack_vertical(values: np.ndarray, bits: int, lanes: int) -> np.ndarray:

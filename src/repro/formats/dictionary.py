@@ -35,11 +35,20 @@ class Dict(ColumnCodec):
             width = 2
         else:
             width = 4
+        # The dictionary itself must hold the raw values losslessly:
+        # int32 when they fit, int64 for wider columns (an int32-only
+        # dictionary silently wraps values at the 2**31 boundary).
+        if dictionary.size and not (
+            -(2**31) <= int(dictionary[0]) and int(dictionary[-1]) < 2**31
+        ):
+            dict_dtype = np.int64
+        else:
+            dict_dtype = np.int32
         return EncodedColumn(
             codec=self.name,
             count=values.size,
             arrays={
-                "dictionary": dictionary.astype(np.int32),
+                "dictionary": dictionary.astype(dict_dtype),
                 "codes": codes.astype(_WIDTH_DTYPES[width]),
             },
             meta={"width": width, "cardinality": int(dictionary.size)},

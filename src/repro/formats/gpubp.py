@@ -21,6 +21,8 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    ragged_arange,
+    trim_tile_chunks,
 )
 from repro.formats.gpufor import BLOCK, bit_length
 
@@ -105,15 +107,27 @@ class GpuBp(TileCodec):
     # -- TileCodec ----------------------------------------------------------
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        self.check_tile_index(enc, tile_idx)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
         last = min(first + d, n_blocks)
-        if not 0 <= first < n_blocks:
-            raise IndexError(f"tile {tile_idx} out of range")
         vals = self._decode_blocks(enc, first, last)
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
         return vals[:end].astype(enc.dtype)
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        d = self.d_blocks(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        vals = self._decode_block_indices(enc, blocks)
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)
@@ -146,10 +160,19 @@ class GpuBp(TileCodec):
     # -- helpers ------------------------------------------------------------
 
     def _decode_blocks(self, enc: EncodedColumn, first: int, last: int) -> np.ndarray:
-        n = last - first
-        starts = enc.arrays["block_starts"].astype(np.int64)[first : last + 1]
+        if last - first <= 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._decode_block_indices(enc, np.arange(first, last))
+
+    def _decode_block_indices(self, enc: EncodedColumn, blocks: np.ndarray) -> np.ndarray:
+        """Decode an arbitrary batch of blocks in one pass per bitwidth."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        n = blocks.size
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        bstarts = enc.arrays["block_starts"].astype(np.int64)[blocks]
         data = enc.arrays["data"]
-        bits = data[starts[:-1]].astype(np.int64)
+        bits = data[bstarts].astype(np.int64)
         out = np.empty((n, BLOCK), dtype=np.int64)
         for b in np.unique(bits):
             sel = np.flatnonzero(bits == b)
@@ -157,7 +180,7 @@ class GpuBp(TileCodec):
                 out[sel] = 0
                 continue
             words_per = int(b) * BLOCK // 32
-            src = (starts[:-1][sel] + _HEADER_WORDS)[:, None] + np.arange(words_per)
+            src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per)
             words = data[src.reshape(-1)]
             vals = bitio.unpack_bits(words, sel.size * BLOCK, int(b))
             out[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)

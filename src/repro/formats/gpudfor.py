@@ -26,8 +26,14 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    trim_tile_chunks,
 )
-from repro.formats.gpufor import BLOCK, pack_blocks, unpack_blocks
+from repro.formats.gpufor import (
+    BLOCK,
+    pack_blocks,
+    unpack_block_indices,
+    unpack_blocks,
+)
 
 
 class GpuDFor(TileCodec):
@@ -130,12 +136,11 @@ class GpuDFor(TileCodec):
     # -- TileCodec ----------------------------------------------------------
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        self.check_tile_index(enc, tile_idx)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
         last = min(first + d, n_blocks)
-        if not 0 <= first < n_blocks:
-            raise IndexError(f"tile {tile_idx} out of range")
         deltas = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], first, last)
         # The device function's second step: a block-wide Blelloch scan
         # over the tile's deltas in shared memory (Section 5.2).
@@ -145,6 +150,26 @@ class GpuDFor(TileCodec):
         values = sums + int(enc.arrays["first_values"][tile_idx])
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
         return values[:end].astype(enc.dtype)
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        d = self.d_blocks(enc)
+        tile = d * BLOCK
+        # The encoder pads to whole tiles, so every tile holds exactly
+        # ``d`` blocks and the delta chains restart at tile boundaries —
+        # one batched unpack plus a row-wise scan decodes the lot.
+        blocks = (tiles[:, None] * d + np.arange(d)).reshape(-1)
+        deltas = unpack_block_indices(
+            enc.arrays["data"], enc.arrays["block_starts"], blocks
+        ).reshape(tiles.size, tile)
+        sums = np.cumsum(deltas, axis=1)
+        values = sums + enc.arrays["first_values"].astype(np.int64)[tiles, None]
+        keep = np.minimum((tiles + 1) * tile, enc.count) - tiles * tile
+        return trim_tile_chunks(
+            values.reshape(-1), np.full(tiles.size, tile, dtype=np.int64), keep
+        ).astype(enc.dtype, copy=False)
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -29,6 +29,8 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    ragged_arange,
+    trim_tile_chunks,
 )
 
 #: Values per block.
@@ -45,11 +47,24 @@ BLOCK_HEADER_WORDS = 2
 #: uint63 range so wide-value codecs (Simple-8b's 60-bit payloads) get
 #: exact widths too.
 _BIT_BOUNDS = (2 ** np.arange(63, dtype=np.uint64)).astype(np.uint64)
+#: Largest value `bit_length` supports: 63 bits, i.e. values < 2**63.
+_MAX_BIT_LENGTH_VALUE = np.uint64(2**63 - 1)
 
 
 def bit_length(values: np.ndarray) -> np.ndarray:
-    """Vectorized ``int.bit_length`` for non-negative integers (exact)."""
-    return np.searchsorted(_BIT_BOUNDS, np.asarray(values, dtype=np.uint64), side="right")
+    """Vectorized ``int.bit_length`` for non-negative integers (exact).
+
+    Supports the full 63-bit range ``[0, 2**63)``.  Values at or beyond
+    ``2**63`` (including negative inputs, which would wrap under the
+    uint64 view) raise :class:`ValueError` rather than silently
+    reporting 63 bits and mis-packing downstream.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    if v.size and int(v.max()) > int(_MAX_BIT_LENGTH_VALUE):
+        raise ValueError(
+            f"bit_length supports values in [0, 2**63), got max {int(v.max())}"
+        )
+    return np.searchsorted(_BIT_BOUNDS, v, side="right")
 
 
 def _pad_to_blocks(values: np.ndarray, block: int = BLOCK) -> np.ndarray:
@@ -91,6 +106,10 @@ def pack_blocks(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]
 
     blocks = values.reshape(n_blocks, BLOCK)
     references = blocks.min(axis=1)
+    if not -(2**31) <= int(references.min()) <= int(references.max()) < 2**31:
+        # The format stores one 32-bit reference word per block (Figure 3);
+        # a wider reference would silently wrap on the astype below.
+        raise ValueError("block references do not fit in int32")
     diffs = blocks - references[:, None]
     if int(diffs.max()) >= 2**32:
         raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
@@ -137,29 +156,35 @@ def pack_blocks(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return data, block_starts.astype(np.uint32), bits
 
 
-def unpack_blocks(
+def unpack_block_indices(
     data: np.ndarray,
     block_starts: np.ndarray,
-    first_block: int,
-    last_block: int,
+    blocks: np.ndarray,
     add_reference: bool = True,
 ) -> np.ndarray:
-    """Decode blocks ``[first_block, last_block)`` packed by :func:`pack_blocks`.
+    """Decode an arbitrary batch of blocks packed by :func:`pack_blocks`.
+
+    The batched decoder core: all selected blocks' miniblocks are
+    unpacked in one ``np.unique(bits)`` sweep, so the cost of the NumPy
+    dispatch is paid once per distinct bitwidth rather than once per
+    block (or worse, once per tile).
 
     Args:
+        blocks: block indices to decode, in output order (may repeat).
         add_reference: when False, return the raw packed diffs (used by
             the cascading baseline, which adds references in a later
             kernel pass).
 
     Returns:
-        int64 array of ``(last_block - first_block) * 128`` values.
+        int64 array of ``blocks.size * 128`` values.
     """
-    n = last_block - first_block
-    if n <= 0:
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = blocks.size
+    if n == 0:
         return np.zeros(0, dtype=np.int64)
-    starts = np.asarray(block_starts, dtype=np.int64)[first_block : last_block + 1]
-    references = data[starts[:-1]].view(np.int32).astype(np.int64)
-    bw_words = data[starts[:-1] + 1]
+    bstarts = np.asarray(block_starts, dtype=np.int64)[blocks]
+    references = data[bstarts].view(np.int32).astype(np.int64)
+    bw_words = data[bstarts + 1]
     bits = np.stack(
         [(bw_words >> (8 * j)) & 0xFF for j in range(MINIBLOCKS_PER_BLOCK)],
         axis=1,
@@ -168,7 +193,7 @@ def unpack_blocks(
     mini_words = np.concatenate(
         [np.zeros((n, 1), dtype=np.int64), np.cumsum(bits[:, :-1], axis=1)], axis=1
     )
-    mini_offsets = starts[:-1, None] + BLOCK_HEADER_WORDS + mini_words
+    mini_offsets = bstarts[:, None] + BLOCK_HEADER_WORDS + mini_words
 
     out = np.empty((n * MINIBLOCKS_PER_BLOCK, MINIBLOCK), dtype=np.int64)
     flat_bits = bits.reshape(-1)
@@ -181,12 +206,33 @@ def unpack_blocks(
         src = flat_offsets[sel][:, None] + np.arange(int(b))
         words = data[src.reshape(-1)]
         vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
-        out[sel] = vals.reshape(sel.size, MINIBLOCK).astype(np.int64)
+        out[sel] = vals.reshape(sel.size, MINIBLOCK)
 
     decoded = out.reshape(n, BLOCK)
     if add_reference:
-        decoded = decoded + references[:, None]
+        decoded += references[:, None]
     return decoded.reshape(-1)
+
+
+def unpack_blocks(
+    data: np.ndarray,
+    block_starts: np.ndarray,
+    first_block: int,
+    last_block: int,
+    add_reference: bool = True,
+) -> np.ndarray:
+    """Decode blocks ``[first_block, last_block)`` packed by :func:`pack_blocks`.
+
+    The contiguous-range convenience over :func:`unpack_block_indices`.
+
+    Returns:
+        int64 array of ``(last_block - first_block) * 128`` values.
+    """
+    if last_block - first_block <= 0:
+        return np.zeros(0, dtype=np.int64)
+    return unpack_block_indices(
+        data, block_starts, np.arange(first_block, last_block), add_reference
+    )
 
 
 class GpuFor(TileCodec):
@@ -245,16 +291,28 @@ class GpuFor(TileCodec):
     # -- TileCodec ----------------------------------------------------------
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        self.check_tile_index(enc, tile_idx)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
         last = min(first + d, n_blocks)
-        if not 0 <= first < n_blocks:
-            raise IndexError(f"tile {tile_idx} out of range")
         vals = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], first, last)
         # Trim padding on the final tile.
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
         return vals[:end].astype(enc.dtype)
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        d = self.d_blocks(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        vals = unpack_block_indices(enc.arrays["data"], enc.arrays["block_starts"], blocks)
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -24,8 +24,15 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    ragged_arange,
+    trim_tile_chunks,
 )
-from repro.formats.ragged import RaggedPacked, pack_ragged, unpack_ragged
+from repro.formats.ragged import (
+    RaggedPacked,
+    pack_ragged,
+    unpack_ragged,
+    unpack_ragged_blocks,
+)
 
 #: Logical values per RFOR block (Section 6).
 RFOR_BLOCK = 512
@@ -183,12 +190,11 @@ class GpuRFor(TileCodec):
     # -- TileCodec ----------------------------------------------------------
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        self.check_tile_index(enc, tile_idx)
         d = self.d_blocks(enc)
         n_blocks = self._num_blocks(enc)
         first = tile_idx * d
         last = min(first + d, n_blocks)
-        if not 0 <= first < n_blocks:
-            raise IndexError(f"tile {tile_idx} out of range")
         run_values, run_lengths = self._decode_runs(enc, first, last)
         # The device function's expansion: Fang et al.'s four block-wide
         # steps (scan, scatter, max-scan, gather) in shared memory.
@@ -197,6 +203,41 @@ class GpuRFor(TileCodec):
         out = block_rle_expand(run_values, run_lengths)
         end = min((first + d) * RFOR_BLOCK, enc.count) - first * RFOR_BLOCK
         return out[:end].astype(enc.dtype)
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        d = self.d_blocks(enc)
+        n_blocks = self._num_blocks(enc)
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        counts = enc.arrays["run_counts"]
+        run_values, _ = unpack_ragged_blocks(
+            RaggedPacked(
+                data=enc.arrays["values_data"],
+                block_starts=enc.arrays["values_starts"],
+                counts=counts,
+            ),
+            blocks,
+        )
+        run_lengths, _ = unpack_ragged_blocks(
+            RaggedPacked(
+                data=enc.arrays["lengths_data"],
+                block_starts=enc.arrays["lengths_starts"],
+                counts=counts,
+            ),
+            blocks,
+        )
+        # Runs never cross block boundaries and each block's lengths sum
+        # to exactly RFOR_BLOCK, so one repeat expands the whole batch.
+        expanded = np.repeat(run_values, run_lengths)
+        keep = (
+            np.minimum((tiles + 1) * d * RFOR_BLOCK, enc.count)
+            - tiles * d * RFOR_BLOCK
+        )
+        return trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep).astype(enc.dtype, copy=False)
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -79,6 +79,9 @@ class Pfor(ColumnCodec):
 
         blocks = v.reshape(n_blocks, PFOR_BLOCK)
         references = blocks.min(axis=1)
+        if not -(2**31) <= int(references.min()) <= int(references.max()) < 2**31:
+            # One 32-bit reference word per block; wider would wrap on astype.
+            raise ValueError("block references do not fit in int32")
         diffs = blocks - references[:, None]
         if int(diffs.max()) >= 2**32:
             raise ValueError("per-block value range exceeds 32 bits")

@@ -65,6 +65,9 @@ def pack_ragged(values: np.ndarray, counts: np.ndarray) -> RaggedPacked:
     np.cumsum(counts, out=value_offsets[1:])
 
     references = np.minimum.reduceat(values, value_offsets[:-1])
+    if not -(2**31) <= int(references.min()) <= int(references.max()) < 2**31:
+        # One 32-bit reference word per block; wider would wrap on astype.
+        raise ValueError("block references do not fit in int32")
     if int((values - references[block_of_value]).max(initial=0)) >= 2**32:
         raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
 
@@ -150,20 +153,40 @@ def unpack_ragged(
         ``(values, counts)`` — the decoded values of those blocks
         concatenated, and the per-block counts (real, unpadded).
     """
-    counts_all = packed.counts.astype(np.int64)
-    n_total = counts_all.size
+    n_total = packed.counts.size
     if last_block is None:
         last_block = n_total
     if not 0 <= first_block <= last_block <= n_total:
         raise IndexError(f"block range [{first_block}, {last_block}) out of bounds")
-    counts = counts_all[first_block:last_block]
+    return unpack_ragged_blocks(packed, np.arange(first_block, last_block))
+
+
+def unpack_ragged_blocks(
+    packed: RaggedPacked, blocks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode an arbitrary batch of blocks of a ragged stream.
+
+    The batched decoder core behind :func:`unpack_ragged` and
+    GPU-RFOR's ``decode_tiles``: every selected block's miniblocks are
+    unpacked in a single ``np.unique(bits)`` sweep.
+
+    Args:
+        blocks: block indices to decode, in output order (may repeat).
+
+    Returns:
+        ``(values, counts)`` — the decoded values of those blocks
+        concatenated, and the per-block counts (real, unpadded).
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    counts_all = packed.counts.astype(np.int64)
+    counts = counts_all[blocks]
     n_blocks = counts.size
     if n_blocks == 0:
         return np.zeros(0, dtype=np.int64), counts
 
-    starts = packed.block_starts.astype(np.int64)[first_block : last_block + 1]
+    bstarts = packed.block_starts.astype(np.int64)[blocks]
     data = packed.data
-    references = data[starts[:-1]].view(np.int32).astype(np.int64)
+    references = data[bstarts].view(np.int32).astype(np.int64)
 
     padded_counts = _pad_counts(counts)
     minis_per_block = padded_counts // MINIBLOCK
@@ -175,14 +198,14 @@ def unpack_ragged(
 
     # Gather bitwidth bytes per miniblock.
     within = np.arange(total_minis) - mini_offsets[mini_block_of]
-    bw_word_idx = starts[:-1][mini_block_of] + 1 + within // 4
+    bw_word_idx = bstarts[mini_block_of] + 1 + within // 4
     bits = ((data[bw_word_idx] >> ((within % 4) * 8)) & 0xFF).astype(np.int64)
 
     c = np.cumsum(bits)
     prior_bits = c - bits
     block_prior = prior_bits[mini_offsets[:-1]]
     mini_word_off = (
-        (starts[:-1] + 1 + bw_words_per_block)[mini_block_of]
+        (bstarts + 1 + bw_words_per_block)[mini_block_of]
         + prior_bits
         - block_prior[mini_block_of]
     )

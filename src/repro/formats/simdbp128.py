@@ -23,6 +23,7 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    trim_tile_chunks,
 )
 from repro.formats.gpufor import bit_length
 
@@ -59,6 +60,11 @@ class GpuSimdBp128(TileCodec):
 
         blocks = v.reshape(n_blocks, VBLOCK) if n_blocks else v.reshape(0, VBLOCK)
         references = blocks.min(axis=1) if n_blocks else np.zeros(0, np.int64)
+        if n_blocks and not (
+            -(2**31) <= int(references.min()) <= int(references.max()) < 2**31
+        ):
+            # One 32-bit reference word per block; wider would wrap on astype.
+            raise ValueError("block references do not fit in int32")
         diffs = blocks - references[:, None] if n_blocks else blocks
         if n_blocks and int(diffs.max()) >= 2**32:
             raise ValueError("per-block value range exceeds 32 bits; cannot bit-pack")
@@ -92,11 +98,7 @@ class GpuSimdBp128(TileCodec):
         )
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
-        n_blocks = enc.arrays["block_starts"].size - 1
-        parts = [self.decode_tile(enc, i) for i in range(n_blocks)]
-        if not parts:
-            return np.zeros(0, dtype=enc.dtype)
-        return np.concatenate(parts)
+        return self.decode_range(enc, 0, self.num_tiles(enc))
 
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         starts, lengths = self.tile_segments(enc)
@@ -120,10 +122,8 @@ class GpuSimdBp128(TileCodec):
     # -- TileCodec ----------------------------------------------------------
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
+        self.check_tile_index(enc, tile_idx)
         starts = enc.arrays["block_starts"].astype(np.int64)
-        n_blocks = starts.size - 1
-        if not 0 <= tile_idx < n_blocks:
-            raise IndexError(f"tile {tile_idx} out of range")
         data = enc.arrays["data"]
         start = int(starts[tile_idx])
         reference = int(np.int32(data[start]))
@@ -136,6 +136,45 @@ class GpuSimdBp128(TileCodec):
         vals += reference
         end = min((tile_idx + 1) * VBLOCK, enc.count) - tile_idx * VBLOCK
         return vals[:end].astype(enc.dtype)
+
+    def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        if tiles.size == 0:
+            return np.zeros(0, dtype=enc.dtype)
+        data = enc.arrays["data"]
+        bstarts = enc.arrays["block_starts"].astype(np.int64)[tiles]
+        references = data[bstarts].view(np.int32).astype(np.int64)
+        bits = data[bstarts + 1].astype(np.int64)
+        per_lane = VBLOCK // LANES
+
+        out = np.empty((tiles.size, VBLOCK), dtype=np.int64)
+        for b in np.unique(bits):
+            sel = np.flatnonzero(bits == b)
+            if b == 0:
+                out[sel] = 0
+                continue
+            words_per_block = int(b) * VBLOCK // 32
+            words_per_lane = words_per_block // LANES
+            src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per_block)
+            words = data[src.reshape(-1)].reshape(sel.size, words_per_lane, LANES)
+            # De-interleave the vertical layout: lane l of word-group g
+            # sits at word g*LANES + l.  Each lane is word-aligned, so
+            # the per-block lane streams concatenate into one valid
+            # horizontal stream unpacked in a single pass.
+            lane_stream = np.ascontiguousarray(words.transpose(0, 2, 1)).reshape(-1)
+            vals = bitio.unpack_bits(lane_stream, sel.size * VBLOCK, int(b))
+            # Value i of a block lives at (lane i % LANES, slot i // LANES).
+            out[sel] = (
+                vals.reshape(sel.size, LANES, per_lane)
+                .transpose(0, 2, 1)
+                .reshape(sel.size, VBLOCK)
+                .astype(np.int64)
+            )
+        out += references[:, None]
+        keep = np.minimum((tiles + 1) * VBLOCK, enc.count) - tiles * VBLOCK
+        return trim_tile_chunks(
+            out.reshape(-1), np.full(tiles.size, VBLOCK, dtype=np.int64), keep
+        ).astype(enc.dtype, copy=False)
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         starts_arr = enc.arrays["block_starts"].astype(np.int64)

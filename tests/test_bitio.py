@@ -83,6 +83,28 @@ class TestPackUnpack:
         with pytest.raises(ValueError, match="do not fit"):
             bitio.pack_bits(np.array([4]), 2)
 
+    def test_zero_bits_rejects_nonzero_values(self):
+        # A 0-bit stream packs to nothing; nonzero input would be lost.
+        with pytest.raises(ValueError, match="do not fit in 0 bits"):
+            bitio.pack_bits(np.array([0, 3, 0]), 0)
+
+    def test_full_width_boundary(self):
+        # bits == 32 (the documented maximum): 2**32 - 1 fits, 2**32
+        # must be rejected — the old `bits < 64` guard made this the
+        # edge the validation contract has to pin down.
+        top = np.array([2**32 - 1, 0, 1], dtype=np.uint64)
+        out = bitio.unpack_bits(bitio.pack_bits(top, 32), top.size, 32)
+        assert np.array_equal(out, top)
+        with pytest.raises(ValueError, match="do not fit in 32 bits"):
+            bitio.pack_bits(np.array([2**32], dtype=np.uint64), 32)
+
+    def test_width_above_contract_rejected(self):
+        for bits in (33, 63, 64):
+            with pytest.raises(ValueError, match="bits must be in"):
+                bitio.pack_bits(np.array([1], dtype=np.uint64), bits)
+            with pytest.raises(ValueError):
+                bitio.unpack_bits(np.zeros(4, np.uint32), 1, bits)
+
     def test_short_stream_rejected(self):
         with pytest.raises(ValueError, match="need"):
             bitio.unpack_bits(np.zeros(1, np.uint32), 100, 7)

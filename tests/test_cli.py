@@ -1,6 +1,5 @@
 """The ``python -m repro`` command-line entry point."""
 
-import pytest
 
 from repro.__main__ import EXPERIMENTS, main
 

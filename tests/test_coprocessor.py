@@ -5,7 +5,6 @@ import pytest
 from repro.engine.coprocessor import CoprocessorExecutor, DeviceCache
 from repro.engine.ssb_queries import QUERIES
 from repro.gpusim import GPUDevice
-from repro.ssb.loader import load_lineorder
 
 
 class TestDeviceCache:

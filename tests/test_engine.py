@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine.crystal import TILE, CrystalEngine, SSBQuery
+from repro.engine.crystal import CrystalEngine
 from repro.engine.lookup import MISS, make_lookup
 from repro.engine.ssb_queries import QUERIES
 from repro.gpusim import GPUDevice

@@ -6,7 +6,6 @@ factor, where the knees fall).  Runs use reduced element counts / scale
 factors and project to paper scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -26,6 +26,25 @@ class TestBitLength:
         powers = 2 ** np.arange(32, dtype=np.uint64)
         assert np.array_equal(bit_length(powers), np.arange(32) + 1)
 
+    def test_63_bit_boundary_exact(self):
+        # Top of the supported range: 2**62 and 2**63 - 1 need 63 bits.
+        vals = np.array([2**62 - 1, 2**62, 2**63 - 1], dtype=np.uint64)
+        assert np.array_equal(bit_length(vals), [62, 63, 63])
+
+    def test_values_beyond_63_bits_rejected(self):
+        # Regression: 2**63 used to silently report 63 bits (the bound
+        # table stops at 2**62) and mis-pack downstream.
+        with pytest.raises(ValueError, match=r"2\*\*63"):
+            bit_length(np.array([2**63], dtype=np.uint64))
+        with pytest.raises(ValueError, match=r"2\*\*63"):
+            bit_length(np.array([2**64 - 1], dtype=np.uint64))
+
+    def test_negative_wraparound_rejected(self):
+        # Negative inputs wrap to >= 2**63 under the uint64 view; they
+        # must raise instead of reporting 63-bit widths.
+        with pytest.raises(ValueError, match=r"2\*\*63"):
+            bit_length(np.array([-1], dtype=np.int64))
+
 
 class TestPackBlocks:
     def test_reference_is_block_minimum(self):

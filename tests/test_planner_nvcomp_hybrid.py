@@ -7,7 +7,6 @@ from repro.core.hybrid import GPU_STAR_SCHEMES, choose_gpu_star, heuristic_schem
 from repro.core.nvcomp import (
     CHUNK_VALUES,
     SCHEMES,
-    NvCompColumn,
     decode_nvcomp,
     decompress_nvcomp,
     encode_nvcomp,

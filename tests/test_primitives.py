@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.primitives import (
-    ScanStats,
     block_max_scan,
     block_prefix_sum,
     block_rle_expand,

@@ -1,6 +1,5 @@
 """Observability: device timelines, query EXPLAIN, report generation."""
 
-import numpy as np
 import pytest
 
 from repro.engine.crystal import CrystalEngine
@@ -94,8 +93,6 @@ class TestReport:
         assert "paper_ms" in report
 
     def test_write_report(self, tmp_path, report):
-        from repro.reporting import write_report
-
         # Reuse the class-scoped generation indirectly: writing again is
         # cheap relative to asserting the file round-trips.
         path = tmp_path / "results.md"

@@ -1,0 +1,104 @@
+"""Adversarial round-trip shapes across every registry codec.
+
+Each codec must either round-trip a shape bit-exactly or reject it with a
+clear :class:`ValueError` naming its documented domain — never silently
+corrupt.  Shapes cover the classic encoder edge cases: empty input, a
+single value, sizes that are not multiples of the 128/512 block sizes,
+all-negative columns, constant columns, and values straddling the int32
+boundary.
+
+Shapes whose values all fit in int32 are the common domain the paper's
+formats are built for: every codec must round-trip those (except the
+documented non-negative-only codecs on negative shapes).  Shapes with
+values at or above ``2**31`` are outside several formats' 32-bit
+reference/value words; there a clear rejection is as good as a
+round-trip, but silent wrapping (the bug this file pins down) is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import codec_names, get_codec
+
+#: Codecs whose documented domain excludes negative values.
+NON_NEGATIVE_ONLY = {"gpu-bp", "gpu-vbyte", "nsv", "simple8b"}
+
+SHAPES: dict[str, np.ndarray] = {
+    "empty": np.zeros(0, dtype=np.int64),
+    "single": np.array([42], dtype=np.int64),
+    "single_negative": np.array([-42], dtype=np.int64),
+    "non_multiple_127": np.arange(127, dtype=np.int64),
+    "non_multiple_129": np.arange(129, dtype=np.int64),
+    "non_multiple_511": np.arange(511, dtype=np.int64) % 89,
+    "non_multiple_513": np.arange(513, dtype=np.int64) % 89,
+    "non_multiple_4097": np.arange(4097, dtype=np.int64) % 1000,
+    "all_negative": -np.arange(1, 700, dtype=np.int64),
+    "constant": np.full(1000, 7, dtype=np.int64),
+    "constant_negative": np.full(640, -123456, dtype=np.int64),
+    "int32_boundary": np.array(
+        [2**31 - 2, 2**31 - 1, 2**31, 2**31 + 1] * 64, dtype=np.int64
+    ),
+    # Every value above int32: trips any encoder that stores a 32-bit
+    # reference or value word without checking (these used to wrap).
+    "above_int32": np.full(1000, 2**31 + 5, dtype=np.int64),
+}
+
+
+def _fits_int32(values: np.ndarray) -> bool:
+    if values.size == 0:
+        return True
+    return -(2**31) <= int(values.min()) and int(values.max()) < 2**31
+
+
+def _expects_domain_error(codec_name: str, values: np.ndarray) -> bool:
+    return (
+        codec_name in NON_NEGATIVE_ONLY
+        and values.size > 0
+        and int(values.min()) < 0
+    )
+
+
+@pytest.mark.parametrize("shape_name", sorted(SHAPES))
+@pytest.mark.parametrize("codec_name", codec_names())
+def test_roundtrip_or_clear_rejection(codec_name, shape_name):
+    codec = get_codec(codec_name)
+    values = SHAPES[shape_name]
+    if _expects_domain_error(codec_name, values):
+        with pytest.raises(ValueError):
+            codec.encode(values)
+        return
+    try:
+        enc = codec.encode(values)
+    except ValueError as err:
+        # A clear rejection is acceptable only outside the common int32
+        # domain (e.g. int32 reference words cannot hold these values).
+        assert not _fits_int32(values), (
+            f"{codec_name} rejected an in-domain shape: {err}"
+        )
+        assert str(err), "rejection must carry a message"
+        return
+    assert enc.count == values.size
+    out = codec.decode(enc)
+    assert out.shape == values.shape
+    assert out.dtype == values.dtype
+    assert np.array_equal(out, values), (
+        f"{codec_name} silently corrupted shape {shape_name}"
+    )
+
+
+@pytest.mark.parametrize("shape_name", sorted(SHAPES))
+@pytest.mark.parametrize("codec_name", codec_names())
+def test_int32_inputs_keep_dtype(codec_name, shape_name):
+    """The same shapes delivered as int32 columns come back as int32."""
+    values = SHAPES[shape_name]
+    if not _fits_int32(values):
+        pytest.skip("shape does not fit in int32")
+    values = values.astype(np.int32)
+    if _expects_domain_error(codec_name, values):
+        pytest.skip("outside codec domain")
+    codec = get_codec(codec_name)
+    out = codec.decode(codec.encode(values))
+    assert out.dtype == np.int32
+    assert np.array_equal(out, values)
