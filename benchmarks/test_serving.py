@@ -1,0 +1,109 @@
+"""Serving-layer baseline: a mixed workload through QueryServer.
+
+Drives a 100-request SSB + point-lookup mix through the serving layer
+with a device budget deliberately smaller than the decoded working set,
+asserts the capacity contract (pool peak residency never exceeds the
+budget) and bit-identical results versus uncached execution, and emits
+``BENCH_serving.json`` — throughput, p50/p99 latency, hit rate — as the
+perf baseline future PRs compare against.
+
+Environment knobs:
+    REPRO_SERVE_REQUESTS — workload size (default 100)
+    REPRO_BENCH_SF       — SSB scale factor (default 0.02, see conftest)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.experiments import serving_workload
+from repro.gpusim import GPUDevice
+from repro.serving import QueryServer
+from repro.ssb.loader import load_lineorder
+
+NUM_REQUESTS = int(os.environ.get("REPRO_SERVE_REQUESTS", "100"))
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _serve_mixed(db):
+    store = load_lineorder(db, "gpu-star")
+    decoded_ws = serving_workload.decoded_working_set_bytes(db)
+    budget = store.total_bytes + int(0.4 * decoded_ws)
+    server = QueryServer(
+        db, store, budget_bytes=budget, max_queue=32, batch_window=8
+    )
+    requests = serving_workload.build_workload(
+        NUM_REQUESTS, db.num_lineorder_rows, seed=11
+    )
+    results = server.serve(requests)
+    return store, server, requests, results, budget, decoded_ws
+
+
+def test_serving_mixed_workload(benchmark, bench_db):
+    store, server, requests, results, budget, decoded_ws = run_once(
+        benchmark, _serve_mixed, bench_db
+    )
+    assert budget < store.total_bytes + decoded_ws, "budget must constrain"
+    assert len(results) == NUM_REQUESTS
+    assert all(r.ok for r in results)
+
+    # Capacity contract: the pool's own metrics prove residency stayed
+    # within budget for the whole workload.
+    snap = server.metrics_snapshot()
+    assert snap["pool_peak_resident_bytes"] <= budget
+    assert snap["pool_evictions"] > 0, "workload did not pressure the pool"
+
+    # Bit-identical to uncached execution.
+    reference_engines: dict[str, dict] = {}
+    for request, result in zip(requests, results):
+        if request.kind == "query":
+            if request.name not in reference_engines:
+                engine = CrystalEngine(bench_db, store, GPUDevice())
+                reference_engines[request.name] = engine.run(
+                    QUERIES[request.name]
+                ).groups
+            assert result.groups == reference_engines[request.name]
+        else:
+            assert np.array_equal(
+                result.values, store[request.name].values[request.indices]
+            )
+
+    hits, misses = snap.get("pool_hits", 0), snap.get("pool_misses", 0)
+    clock_ms = server.clock_ms
+    summary = {
+        "num_requests": NUM_REQUESTS,
+        "scale_factor_rows": int(bench_db.num_lineorder_rows),
+        "budget_bytes": int(budget),
+        "decoded_working_set_bytes": int(decoded_ws),
+        "compressed_bytes": int(store.total_bytes),
+        "simulated_ms": clock_ms,
+        "throughput_qps": len(results) / (clock_ms / 1000.0) if clock_ms else 0.0,
+        "latency_p50_ms": snap.get("latency_ms_p50", 0.0),
+        "latency_p99_ms": snap.get("latency_ms_p99", 0.0),
+        "latency_mean_ms": snap.get("latency_ms_mean", 0.0),
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "evictions": int(snap.get("pool_evictions", 0)),
+        "peak_resident_bytes": int(snap.get("pool_peak_resident_bytes", 0)),
+        "batches": int(snap.get("server_batches", 0)),
+        "batched_requests": int(snap.get("server_batched_requests", 0)),
+    }
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"\nserving: {summary['throughput_qps']:.0f} q/s simulated, "
+        f"p50 {summary['latency_p50_ms']:.3f} ms, "
+        f"p99 {summary['latency_p99_ms']:.3f} ms, "
+        f"hit rate {summary['hit_rate']:.0%}, "
+        f"{summary['evictions']} evictions "
+        f"(budget {budget / 1e6:.1f} MB < working set "
+        f"{(store.total_bytes + decoded_ws) / 1e6:.1f} MB) "
+        f"-> {OUTPUT_PATH.name}"
+    )
+    assert summary["hit_rate"] > 0.0
+    assert summary["latency_p99_ms"] >= summary["latency_p50_ms"]

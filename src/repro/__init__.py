@@ -53,6 +53,7 @@ from repro.formats import (
     get_codec,
 )
 from repro.gpusim import A100, V100, GPUDevice, GPUSpec
+from repro.serving import ColumnPool, PoolAdmissionError, QueryServer
 from repro.ssb import generate as generate_ssb
 from repro.ssb import load_lineorder
 
@@ -61,6 +62,7 @@ __version__ = "1.0.0"
 __all__ = [
     "A100",
     "ColumnCodec",
+    "ColumnPool",
     "ColumnStats",
     "CrystalEngine",
     "DecompressionReport",
@@ -74,8 +76,10 @@ __all__ = [
     "GpuSimdBp128",
     "Nsf",
     "Nsv",
+    "PoolAdmissionError",
     "QUERIES",
     "QueryResult",
+    "QueryServer",
     "Rle",
     "TileCodec",
     "V100",

@@ -32,6 +32,7 @@ from repro.experiments import (
     random_access,
     related_work,
     sensitivity_gpu,
+    serving_workload,
 )
 
 EXPERIMENTS = {
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "interconnect": (interconnect_sweep, "extension — coprocessor speedup vs link generation"),
     "multigpu": (multigpu_scaling, "extension — sharded decompression scaling"),
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),
+    "serving": (serving_workload, "extension — serving layer: pool + scheduler under load"),
 }
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -44,10 +45,24 @@ class UpdatableColumn:
     encoded: EncodedColumn = field(init=False)
     codec_name: str = field(init=False)
     _pending: dict[int, int] = field(init=False, default_factory=dict)
+    _invalidation_hooks: list[Callable[["UpdatableColumn"], None]] = field(
+        init=False, default_factory=list
+    )
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.int64).copy()
         self._reencode()
+
+    def add_invalidation_hook(
+        self, hook: Callable[["UpdatableColumn"], None]
+    ) -> None:
+        """Call ``hook(self)`` after every flush re-encodes the column.
+
+        Anything holding a derivative of the old encoding — an engine's
+        decoded cache, a serving pool's residents — must re-read through
+        a hook, or it keeps serving the pre-update bytes.
+        """
+        self._invalidation_hooks.append(hook)
 
     def _reencode(self) -> None:
         choice = choose_gpu_star(self.values)
@@ -117,6 +132,8 @@ class UpdatableColumn:
         encode_seconds = time.perf_counter() - start
 
         transfer_ms = device.transfer_to_device(self.encoded.nbytes)
+        for hook in self._invalidation_hooks:
+            hook(self)
         return FlushReport(
             encode_seconds=encode_seconds,
             transfer_ms=transfer_ms,

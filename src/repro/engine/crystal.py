@@ -21,7 +21,7 @@ Three execution styles cover the paper's six systems:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -35,6 +35,10 @@ from repro.gpusim.memory import linear_bytes
 from repro.engine.lookup import MISS, Lookup, make_lookup
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> engine)
+    from repro.core.updates import UpdatableColumn
+    from repro.serving.pool import ColumnPool
 
 #: Rows one thread block processes (D=4 blocks of 128).
 TILE = 512
@@ -90,10 +94,15 @@ class CrystalEngine:
         db: SSBDatabase,
         store: ColumnStore,
         device: GPUDevice | None = None,
+        pool: "ColumnPool | None" = None,
     ):
         self.db = db
         self.store = store
         self.device = device if device is not None else GPUDevice()
+        #: When set, decoded images and tile metadata live as evictable
+        #: residents of the serving layer's ColumnPool instead of the
+        #: unbounded per-engine dicts — device capacity is then enforced.
+        self.pool = pool
         self.num_rows = db.num_lineorder_rows
         self.num_tiles = -(-self.num_rows // TILE)
         self._tile_bytes_cache: dict[str, np.ndarray] = {}
@@ -120,20 +129,93 @@ class CrystalEngine:
         col = self.store[name]
         if not self.column_inline(name):
             return col.values
+        if self.pool is not None:
+            return self._pool_decoded(name, col)
         cached = self._decoded_cache.get(name)
         if cached is None:
-            codec = get_codec(col.codec_name)
-            assert isinstance(codec, TileCodec)
-            enc = col.payload
-            cached = codec.decode_range(enc, 0, codec.num_tiles(enc))
-            self._decoded_cache[name] = cached
+            self._decoded_cache[name] = cached = self._decode_column(col)
         return cached
+
+    def _decode_column(self, col) -> np.ndarray:
+        codec = get_codec(col.codec_name)
+        assert isinstance(codec, TileCodec)
+        enc = col.payload
+        return codec.decode_range(enc, 0, codec.num_tiles(enc))
+
+    def _pool_decoded(self, name: str, col) -> np.ndarray:
+        """Serve the decoded image as an evictable pool resident."""
+        from repro.serving.pool import PoolAdmissionError, estimate_decode_cost_ms
+
+        key = f"decoded/{name}"
+        resident = self.pool.get(key)
+        if resident is not None:
+            return resident.payload
+        values = self._decode_column(col)
+        try:
+            self.pool.admit(
+                key,
+                values.nbytes,
+                kind="decoded",
+                payload=values,
+                reconstruct_cost_ms=estimate_decode_cost_ms(col.payload, self.device),
+            )
+        except PoolAdmissionError:
+            pass  # image exceeds the whole budget: serve it uncached
+        return values
+
+    def invalidate_column(self, name: str) -> None:
+        """Drop every cached derivative of a column (it was re-encoded)."""
+        self._decoded_cache.pop(name, None)
+        self._tile_bytes_cache.pop(name, None)
+        if self.pool is not None:
+            for prefix in ("decoded/", "tilemeta/", "compressed/"):
+                self.pool.invalidate(prefix + name)
+
+    def bind_updatable(self, name: str, column: "UpdatableColumn") -> None:
+        """Serve ``name`` from an :class:`~repro.core.updates.UpdatableColumn`.
+
+        Every :meth:`~repro.core.updates.UpdatableColumn.flush` re-encodes
+        the column, so the store's image is swapped for the fresh encoding
+        and all cached/pool-resident derivatives are invalidated — without
+        this, the engine keeps serving the pre-update bytes forever.
+        """
+        stored = self.store[name]
+
+        def _on_flush(ucol: "UpdatableColumn") -> None:
+            stored.values = ucol.values.copy()
+            stored.payload = ucol.encoded
+            stored.codec_name = ucol.codec_name
+            stored.nbytes = ucol.encoded.nbytes
+            self.invalidate_column(name)
+
+        column.add_invalidation_hook(_on_flush)
+        _on_flush(column)
 
     def tile_read_bytes(self, name: str) -> np.ndarray:
         """Aligned global-memory bytes each engine tile reads for a column."""
+        if self.pool is not None:
+            key = f"tilemeta/{name}"
+            resident = self.pool.get(key)
+            if resident is not None:
+                return resident.payload
+            per_engine = self._compute_tile_read_bytes(name)
+            from repro.serving.pool import PoolAdmissionError
+
+            try:
+                self.pool.admit(
+                    key, per_engine.nbytes, kind="meta", payload=per_engine
+                )
+            except PoolAdmissionError:
+                pass
+            return per_engine
         cached = self._tile_bytes_cache.get(name)
         if cached is not None:
             return cached
+        per_engine = self._compute_tile_read_bytes(name)
+        self._tile_bytes_cache[name] = per_engine
+        return per_engine
+
+    def _compute_tile_read_bytes(self, name: str) -> np.ndarray:
         col = self.store[name]
         if self.column_inline(name):
             codec = get_codec(col.codec_name)
@@ -158,7 +240,6 @@ class CrystalEngine:
             )
             tail = self.num_rows - (self.num_tiles - 1) * TILE
             per_engine[-1] = linear_bytes(tail * 4, self.device.spec.transaction_bytes)
-        self._tile_bytes_cache[name] = per_engine
         return per_engine
 
     def _regroup_tiles(self, per_codec_tile: np.ndarray, codec_tile_elems: int) -> np.ndarray:

@@ -21,6 +21,7 @@ from repro.experiments import (
     random_access,
     related_work,
     sensitivity_gpu,
+    serving_workload,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "random_access",
     "related_work",
     "sensitivity_gpu",
+    "serving_workload",
 ]

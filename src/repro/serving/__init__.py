@@ -1,0 +1,49 @@
+"""The compressed-column serving layer (the system around §3/§7's model).
+
+Three cooperating pieces turn the single-query reproduction into a
+multi-tenant server:
+
+* :class:`~repro.serving.pool.ColumnPool` — a byte-budgeted GPU buffer
+  manager: compressed and decoded column images are first-class residents
+  with pin counts, and a cost-aware policy (reconstructible images first,
+  greedy-dual decode-cost × recency within a class) evicts under
+  pressure, so ``GPUSpec.global_capacity_bytes`` is actually enforced.
+* :class:`~repro.serving.scheduler.QueryServer` — concurrent admission of
+  SSB queries and point lookups over one shared engine, with a bounded
+  queue (backpressure), per-request simulated timeouts, and batching of
+  compatible requests into one execution.
+* :class:`~repro.serving.metrics.MetricsRegistry` — the shared counters,
+  gauges and latency percentiles both components export.
+"""
+
+from repro.serving.metrics import MetricsRegistry, metrics_rows, percentile
+from repro.serving.pool import (
+    ColumnPool,
+    EvictionRecord,
+    PoolAdmissionError,
+    Resident,
+    estimate_decode_cost_ms,
+)
+from repro.serving.scheduler import (
+    QueryServer,
+    ServeRequest,
+    ServedResult,
+    ServerClosed,
+    ServerSaturated,
+)
+
+__all__ = [
+    "ColumnPool",
+    "EvictionRecord",
+    "MetricsRegistry",
+    "PoolAdmissionError",
+    "QueryServer",
+    "Resident",
+    "ServeRequest",
+    "ServedResult",
+    "ServerClosed",
+    "ServerSaturated",
+    "estimate_decode_cost_ms",
+    "metrics_rows",
+    "percentile",
+]

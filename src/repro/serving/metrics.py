@@ -1,0 +1,130 @@
+"""Metrics surface of the serving layer: counters, gauges, latency series.
+
+Every serving component (the :class:`~repro.serving.pool.ColumnPool`, the
+:class:`~repro.serving.scheduler.QueryServer`) records into one shared
+:class:`MetricsRegistry`.  The registry is deliberately tiny — named
+monotonic counters, last-write-wins gauges, and bounded observation series
+with percentile queries — exported as one flat dict so reports, tests and
+benchmarks all read the same numbers.
+
+All operations are thread-safe: client threads submitting to the server
+and the scheduler thread draining it update the same registry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default method but works on plain
+    lists, so metric consumers need no array conversion.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and observation series."""
+
+    def __init__(self, max_series_len: int = 100_000):
+        if max_series_len <= 0:
+            raise ValueError("max_series_len must be positive")
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = defaultdict(int)
+        self._gauges: dict[str, float] = {}
+        self._series: dict[str, list[float]] = defaultdict(list)
+        self._max_series_len = max_series_len
+
+    # -- writes ------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a monotonic counter."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its current value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise a high-watermark gauge to ``value`` if it is higher."""
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation (e.g. a latency) to a series."""
+        with self._lock:
+            series = self._series[name]
+            series.append(float(value))
+            if len(series) > self._max_series_len:
+                del series[: len(series) - self._max_series_len]
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def series(self, name: str) -> list[float]:
+        with self._lock:
+            return list(self._series.get(name, ()))
+
+    def series_percentile(self, name: str, q: float) -> float:
+        return percentile(self.series(name), q)
+
+    def snapshot(self) -> dict:
+        """Export everything as one flat dict.
+
+        Counters and gauges appear under their own names; each series
+        ``s`` contributes ``s_count``, ``s_mean``, ``s_p50``, ``s_p99``
+        and ``s_max``.
+        """
+        with self._lock:
+            out: dict = dict(self._counters)
+            out.update(self._gauges)
+            series_copy = {k: list(v) for k, v in self._series.items()}
+        for name, values in series_copy.items():
+            out[f"{name}_count"] = len(values)
+            out[f"{name}_mean"] = sum(values) / len(values) if values else 0.0
+            out[f"{name}_p50"] = percentile(values, 50.0)
+            out[f"{name}_p99"] = percentile(values, 99.0)
+            out[f"{name}_max"] = max(values) if values else 0.0
+        return out
+
+
+def metrics_rows(snapshot: dict) -> list[dict]:
+    """Render a metrics snapshot as report-table rows (sorted by name)."""
+    rows = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        rows.append(
+            {
+                "metric": name,
+                "value": f"{value:.3f}" if isinstance(value, float) else value,
+            }
+        )
+    return rows

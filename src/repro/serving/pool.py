@@ -1,0 +1,338 @@
+"""ColumnPool: a byte-budgeted manager of device-resident column images.
+
+The paper's execution model (§3, §7) keeps *compressed* columns resident
+in GPU global memory and decodes tiles inline; engines additionally keep
+*decoded* images around as device-side caches.  Both kinds compete for
+the same physical capacity — ``GPUSpec.global_capacity_bytes`` — which
+nothing in the repo enforced before this module: stores loaded columns of
+any size and engines grew their decoded caches without bound.
+
+:class:`ColumnPool` makes residency explicit.  Every byte on the device
+is a :class:`Resident` with a kind, a pin count, and a reconstruction
+cost, and admission under pressure evicts with a cost-aware policy:
+
+* **Reconstructible images go first.**  A decoded image can always be
+  re-materialized from its compressed resident, so decoded (and metadata)
+  residents are evicted before any compressed column is dropped to host.
+* **Within a class, keep what is expensive and hot.**  The victim is the
+  resident with the lowest ``reconstruct_cost_ms / (1 + age)`` — the
+  greedy-dual score: cheap-to-rebuild and long-unused images leave before
+  expensive, recently-used ones.  For decoded images the cost comes from
+  the gpusim timing model (:func:`estimate_decode_cost_ms`); for
+  compressed images it is the PCIe transfer to re-stage them from host.
+
+Admission never over-commits: a payload larger than the whole budget (or
+unable to fit because the remainder is pinned) raises
+:class:`PoolAdmissionError` instead of silently succeeding.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.formats.base import EncodedColumn, TileCodec
+from repro.formats.registry import get_codec
+from repro.gpusim.executor import GPUDevice
+from repro.gpusim.kernel import KernelLaunch, KernelSpec
+from repro.gpusim.timing import CostModel
+from repro.serving.metrics import MetricsRegistry
+
+#: Resident kinds, in eviction-preference order (reconstructible first).
+KINDS = ("meta", "decoded", "compressed")
+#: Kinds that can be rebuilt from another resident (or the host copy)
+#: without losing data — always evicted before compressed images.
+RECONSTRUCTIBLE_KINDS = frozenset({"meta", "decoded"})
+
+
+class PoolAdmissionError(RuntimeError):
+    """A payload cannot be admitted within the pool's byte budget."""
+
+
+@dataclass
+class Resident:
+    """One image occupying device memory."""
+
+    key: str
+    nbytes: int
+    kind: str
+    #: The device-side object itself (decoded array, encoded column, ...).
+    #: ``None`` for accounting-only residents whose bytes live elsewhere.
+    payload: Any = None
+    #: Simulated ms to rebuild this image if evicted (decode or PCIe cost).
+    reconstruct_cost_ms: float = 0.0
+    pin_count: int = 0
+    last_used: int = 0
+
+    @property
+    def reconstructible(self) -> bool:
+        return self.kind in RECONSTRUCTIBLE_KINDS
+
+    def keep_score(self, now: int) -> float:
+        """Greedy-dual keep value: rebuild cost discounted by staleness."""
+        return self.reconstruct_cost_ms / (1 + max(0, now - self.last_used))
+
+
+@dataclass
+class EvictionRecord:
+    """Ledger entry for one eviction (exposed for tests/debugging)."""
+
+    key: str
+    kind: str
+    nbytes: int
+    keep_score: float = field(repr=False, default=0.0)
+
+
+class ColumnPool:
+    """Byte-budgeted pool of compressed and decoded column images."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._residents: dict[str, Resident] = {}
+        self._tick = 0
+        self.eviction_log: list[EvictionRecord] = []
+        self.metrics.gauge("pool_budget_bytes", budget_bytes)
+        self._publish()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(r.nbytes for r in self._residents.values())
+
+    @property
+    def resident_keys(self) -> list[str]:
+        with self._lock:
+            return list(self._residents)
+
+    def lookup(self, key: str) -> Resident | None:
+        """Peek at a resident without touching recency or counters."""
+        with self._lock:
+            return self._residents.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.lookup(key) is not None
+
+    # -- the serving API ---------------------------------------------------
+
+    def get(self, key: str) -> Resident | None:
+        """Fetch a resident, counting a hit/miss and refreshing recency."""
+        with self._lock:
+            self._tick += 1
+            resident = self._residents.get(key)
+            if resident is None:
+                self.metrics.inc("pool_misses")
+                return None
+            resident.last_used = self._tick
+            self.metrics.inc("pool_hits")
+            return resident
+
+    def admit(
+        self,
+        key: str,
+        nbytes: int,
+        kind: str,
+        payload: Any = None,
+        reconstruct_cost_ms: float = 0.0,
+        pin: bool = False,
+    ) -> Resident:
+        """Make room for and register one image; returns its resident.
+
+        Re-admitting an existing key refreshes its payload/cost in place.
+        Raises :class:`PoolAdmissionError` when the image can never fit
+        (larger than the whole budget) or when pinned residents hold too
+        much of it.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if kind not in KINDS:
+            raise ValueError(f"unknown kind {kind!r}; expected one of {KINDS}")
+        with self._lock:
+            self._tick += 1
+            existing = self._residents.get(key)
+            if existing is not None:
+                if existing.nbytes != nbytes:
+                    self._residents.pop(key)
+                    self._publish()
+                else:
+                    existing.payload = payload
+                    existing.reconstruct_cost_ms = reconstruct_cost_ms
+                    existing.last_used = self._tick
+                    if pin:
+                        existing.pin_count += 1
+                    return existing
+            if nbytes > self.budget_bytes:
+                self.metrics.inc("pool_rejections")
+                raise PoolAdmissionError(
+                    f"{key}: {nbytes} bytes exceed the whole device budget "
+                    f"of {self.budget_bytes} bytes"
+                )
+            self._make_room(nbytes, for_key=key)
+            resident = Resident(
+                key=key,
+                nbytes=nbytes,
+                kind=kind,
+                payload=payload,
+                reconstruct_cost_ms=reconstruct_cost_ms,
+                pin_count=1 if pin else 0,
+                last_used=self._tick,
+            )
+            self._residents[key] = resident
+            self.metrics.inc("pool_admissions")
+            self._publish()
+            return resident
+
+    def pin(self, key: str) -> None:
+        """Protect a resident from eviction (counted; unpin to release)."""
+        with self._lock:
+            resident = self._residents.get(key)
+            if resident is None:
+                raise KeyError(f"cannot pin non-resident {key!r}")
+            resident.pin_count += 1
+
+    def unpin(self, key: str) -> None:
+        with self._lock:
+            resident = self._residents.get(key)
+            if resident is None:
+                return  # invalidated while pinned: nothing to release
+            if resident.pin_count <= 0:
+                raise RuntimeError(f"unbalanced unpin of {key!r}")
+            resident.pin_count -= 1
+
+    @contextlib.contextmanager
+    def pinned(self, *keys: str) -> Iterator[None]:
+        """Pin ``keys`` (those currently resident) for a ``with`` block."""
+        held = []
+        with self._lock:
+            for key in keys:
+                if key in self._residents:
+                    self.pin(key)
+                    held.append(key)
+        try:
+            yield
+        finally:
+            for key in held:
+                self.unpin(key)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop a resident (e.g. its column was re-encoded); True if it was
+        resident.  Pinned residents are dropped too — the caller made the
+        bytes stale, keeping them would serve wrong data."""
+        with self._lock:
+            resident = self._residents.pop(key, None)
+            if resident is None:
+                return False
+            self.metrics.inc("pool_invalidations")
+            self._publish()
+            return True
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every resident whose key starts with ``prefix``."""
+        with self._lock:
+            doomed = [k for k in self._residents if k.startswith(prefix)]
+            for key in doomed:
+                self.invalidate(key)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._residents.clear()
+            self._publish()
+
+    def metrics_snapshot(self) -> dict:
+        """The pool's counters and gauges as one dict."""
+        return {
+            k: v
+            for k, v in self.metrics.snapshot().items()
+            if k.startswith("pool_")
+        }
+
+    # -- eviction ----------------------------------------------------------
+
+    def _make_room(self, nbytes: int, for_key: str) -> None:
+        """Evict until ``nbytes`` fit, preferring reconstructible images."""
+        free = self.budget_bytes - sum(r.nbytes for r in self._residents.values())
+        while free < nbytes:
+            victim = self._pick_victim()
+            if victim is None:
+                self.metrics.inc("pool_rejections")
+                raise PoolAdmissionError(
+                    f"{for_key}: needs {nbytes} bytes but only {free} are free "
+                    f"and every other resident is pinned"
+                )
+            self._residents.pop(victim.key)
+            free += victim.nbytes
+            self.eviction_log.append(
+                EvictionRecord(
+                    victim.key, victim.kind, victim.nbytes,
+                    victim.keep_score(self._tick),
+                )
+            )
+            self.metrics.inc("pool_evictions")
+            self.metrics.inc("pool_evicted_bytes", victim.nbytes)
+        self._publish()
+
+    def _pick_victim(self) -> Resident | None:
+        """Lowest keep-score unpinned resident, reconstructible class first."""
+        candidates = [r for r in self._residents.values() if r.pin_count == 0]
+        if not candidates:
+            return None
+        reconstructible = [r for r in candidates if r.reconstructible]
+        pool = reconstructible if reconstructible else candidates
+        return min(pool, key=lambda r: (r.keep_score(self._tick), r.last_used))
+
+    def _publish(self) -> None:
+        resident_bytes = sum(r.nbytes for r in self._residents.values())
+        self.metrics.gauge("pool_resident_bytes", resident_bytes)
+        self.metrics.gauge("pool_residents", len(self._residents))
+        self.metrics.gauge_max("pool_peak_resident_bytes", resident_bytes)
+
+
+def estimate_decode_cost_ms(enc: Any, device: GPUDevice) -> float:
+    """Price re-materializing a decoded image, via the gpusim cost model.
+
+    For tile codecs this builds the same one-pass decompression launch the
+    executor would and asks :class:`~repro.gpusim.timing.CostModel` for
+    its time — without touching any device ledger.  Non-tile payloads fall
+    back to a bandwidth bound over compressed-in + decoded-out bytes.
+    """
+    if not isinstance(enc, EncodedColumn):
+        return 0.0
+    decoded_bytes = enc.count * 4
+    codec = get_codec(enc.codec)
+    if not isinstance(codec, TileCodec):
+        spec = device.spec
+        return (
+            spec.kernel_launch_us / 1000.0
+            + (enc.nbytes + decoded_bytes) / (spec.global_bandwidth_gbps * 1e9) * 1e3
+        )
+    res = codec.kernel_resources(enc)
+    n_tiles = codec.num_tiles(enc)
+    launch = KernelLaunch(
+        spec=KernelSpec(
+            name=f"estimate-decode-{enc.codec}",
+            block_threads=128,
+            registers_per_thread=res.registers_per_thread,
+            shared_mem_per_block=res.shared_mem_per_block,
+        ),
+        grid_blocks=max(1, n_tiles),
+        device_spec=device.spec,
+    )
+    launch.read_linear(enc.nbytes)
+    launch.write_linear(decoded_bytes)
+    launch.compute(
+        int(res.compute_ops_per_element * enc.count + res.tile_prologue_ops * n_tiles)
+    )
+    launch.shared(int(res.shared_bytes_per_element * enc.count))
+    return CostModel(device.spec).launch_time_ms(launch)

@@ -1,0 +1,424 @@
+"""QueryServer: concurrent admission, batching and backpressure.
+
+The serving layer's front door.  Client threads :meth:`~QueryServer.submit`
+SSB queries or point-lookup requests against one shared
+:class:`~repro.engine.crystal.CrystalEngine`; a single scheduler drains a
+**bounded** queue (a full queue rejects — backpressure instead of
+unbounded buffering), groups compatible requests, and executes each group
+once:
+
+* identical SSB queries in one drain window ride the same fused fact
+  kernel — one execution, every requester gets the result;
+* point lookups against the same column coalesce their indices into one
+  :func:`~repro.core.random_access.gather`, touching each compressed tile
+  at most once per window.
+
+Before a group runs, its columns are placed through the
+:class:`~repro.serving.pool.ColumnPool` (charging PCIe transfer on
+misses, evicting under pressure) and pinned for the duration, so device
+capacity holds even while decoded images come and go.
+
+Time is the simulator's: the server keeps a serving clock advanced by
+each group's simulated transfer + kernel milliseconds.  A request's
+latency is its simulated queue wait (clock at dispatch minus clock at
+admission) plus its group's execution time, and a request whose wait
+exceeds its timeout is answered with a ``timeout`` result instead of
+being executed.  Latencies, queue depth, and hit/eviction counters all
+land in the shared :class:`~repro.serving.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.random_access import gather
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.gpusim.executor import GPUDevice
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.pool import ColumnPool, PoolAdmissionError
+from repro.ssb.dbgen import SSBDatabase
+from repro.ssb.loader import ColumnStore
+
+
+class ServerSaturated(RuntimeError):
+    """The bounded admission queue is full — back off and retry."""
+
+
+class ServerClosed(RuntimeError):
+    """The server no longer accepts requests."""
+
+
+@dataclass
+class ServeRequest:
+    """One client request: an SSB query or a point lookup."""
+
+    kind: str  # "query" | "lookup"
+    name: str  # SSB query name, or the column a lookup targets
+    indices: np.ndarray | None = None
+    #: Simulated ms this request will wait in queue before giving up
+    #: (``None``: wait forever).
+    timeout_ms: float | None = None
+    #: Stamped at admission: request id and the serving clock.
+    id: int = field(default=-1, compare=False)
+    submitted_ms: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("query", "lookup"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind == "query" and self.name not in QUERIES:
+            raise ValueError(f"unknown SSB query {self.name!r}")
+        if self.kind == "lookup":
+            if self.indices is None:
+                raise ValueError("lookup requests need indices")
+            self.indices = np.asarray(self.indices, dtype=np.int64)
+
+    @property
+    def batch_key(self) -> tuple[str, str]:
+        """Requests sharing this key execute as one group."""
+        return (self.kind, self.name)
+
+
+@dataclass
+class ServedResult:
+    """What a request resolves to."""
+
+    request: ServeRequest
+    status: str  # "ok" | "timeout" | "rejected"
+    groups: dict[int, int] | None = None
+    values: np.ndarray | None = None
+    queue_wait_ms: float = 0.0
+    execute_ms: float = 0.0
+    #: Requests that shared this execution (1 = ran alone).
+    batch_size: int = 1
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency_ms(self) -> float:
+        """Simulated end-to-end latency: queue wait + execution."""
+        return self.queue_wait_ms + self.execute_ms
+
+
+@dataclass
+class _Ticket:
+    request: ServeRequest
+    future: Future
+
+
+class QueryServer:
+    """Admits, batches and executes requests over one shared engine."""
+
+    def __init__(
+        self,
+        db: SSBDatabase,
+        store: ColumnStore,
+        device: GPUDevice | None = None,
+        pool: ColumnPool | None = None,
+        budget_bytes: int | None = None,
+        max_queue: int = 64,
+        batch_window: int = 8,
+        default_timeout_ms: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if batch_window <= 0:
+            raise ValueError(f"batch_window must be positive, got {batch_window}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.device = device if device is not None else GPUDevice()
+        if pool is None:
+            pool = ColumnPool(
+                budget_bytes
+                if budget_bytes is not None
+                else self.device.spec.global_capacity_bytes,
+                metrics=self.metrics,
+            )
+        self.pool = pool
+        self.store = store
+        self.engine = CrystalEngine(db, store, self.device, pool=pool)
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.default_timeout_ms = default_timeout_ms
+
+        self._state_lock = threading.Lock()
+        self._not_empty = threading.Condition(self._state_lock)
+        self._space_freed = threading.Condition(self._state_lock)
+        self._queue: deque[_Ticket] = deque()
+        self._engine_lock = threading.Lock()
+        self._clock_ms = 0.0
+        self._next_id = 0
+        self._closed = False
+        self._thread: threading.Thread | None = None
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def clock_ms(self) -> float:
+        """The serving clock: simulated ms of work dispatched so far."""
+        with self._state_lock:
+            return self._clock_ms
+
+    @property
+    def queue_depth(self) -> int:
+        with self._state_lock:
+            return len(self._queue)
+
+    def submit(self, request: ServeRequest, block_s: float | None = None) -> Future:
+        """Admit one request; resolves to a :class:`ServedResult`.
+
+        A full queue raises :class:`ServerSaturated` immediately, or
+        after really waiting up to ``block_s`` seconds for space — the
+        backpressure contract: the caller, not the server, buffers.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            if len(self._queue) >= self.max_queue and block_s is not None:
+                deadline = time.monotonic() + block_s
+                while len(self._queue) >= self.max_queue and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._space_freed.wait(remaining):
+                        break
+                if self._closed:
+                    raise ServerClosed("server closed while waiting for space")
+            if len(self._queue) >= self.max_queue:
+                self.metrics.inc("server_rejected")
+                raise ServerSaturated(
+                    f"queue full ({self.max_queue} requests waiting)"
+                )
+            if request.timeout_ms is None:
+                request.timeout_ms = self.default_timeout_ms
+            request.id = self._next_id
+            self._next_id += 1
+            request.submitted_ms = self._clock_ms
+            ticket = _Ticket(request, Future())
+            self._queue.append(ticket)
+            self.metrics.inc("server_admitted")
+            self.metrics.gauge("server_queue_depth", len(self._queue))
+            self.metrics.gauge_max("server_peak_queue_depth", len(self._queue))
+            self._not_empty.notify()
+            return ticket.future
+
+    def query(self, name: str, timeout_ms: float | None = None,
+              block_s: float | None = None) -> Future:
+        """Submit one SSB query by name."""
+        return self.submit(ServeRequest("query", name, timeout_ms=timeout_ms),
+                           block_s=block_s)
+
+    def lookup(self, column: str, indices: np.ndarray,
+               timeout_ms: float | None = None,
+               block_s: float | None = None) -> Future:
+        """Submit one point lookup over a fact column."""
+        return self.submit(
+            ServeRequest("lookup", column, indices=indices, timeout_ms=timeout_ms),
+            block_s=block_s,
+        )
+
+    def serve(self, requests: list[ServeRequest]) -> list[ServedResult]:
+        """Synchronously push a workload through and collect every result.
+
+        Works with or without a running scheduler thread: without one the
+        caller's thread drains the queue whenever backpressure trips, and
+        completely at the end.
+        """
+        futures: list[Future] = []
+        for request in requests:
+            while True:
+                try:
+                    futures.append(self.submit(request))
+                    break
+                except ServerSaturated:
+                    if self._thread is None:
+                        self.drain()
+                    else:
+                        time.sleep(0.001)
+        if self._thread is None:
+            self.drain()
+        return [f.result() for f in futures]
+
+    # -- scheduling --------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the scheduler in a background thread."""
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="query-server", daemon=True
+            )
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting requests; optionally finish the queued ones."""
+        with self._state_lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._space_freed.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join()
+        if drain:
+            self.drain()
+        else:
+            while True:
+                batch = self._take_batch()
+                if not batch:
+                    break
+                for ticket in batch:
+                    ticket.future.set_result(
+                        ServedResult(ticket.request, "rejected",
+                                     error="server stopped")
+                    )
+
+    def drain(self) -> int:
+        """Process everything currently queued on the calling thread."""
+        processed = 0
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return processed
+            self._process(batch)
+            processed += len(batch)
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._state_lock:
+                while not self._queue and not self._closed:
+                    self._not_empty.wait(0.05)
+                if self._closed and not self._queue:
+                    return
+                stop_after = self._closed
+            batch = self._take_batch()
+            if batch:
+                self._process(batch)
+            if stop_after and not self.queue_depth:
+                return
+
+    def _take_batch(self) -> list[_Ticket]:
+        with self._state_lock:
+            batch = []
+            while self._queue and len(batch) < self.batch_window:
+                batch.append(self._queue.popleft())
+            if batch:
+                self.metrics.gauge("server_queue_depth", len(self._queue))
+                self._space_freed.notify_all()
+            return batch
+
+    # -- execution ---------------------------------------------------------
+
+    def _process(self, batch: list[_Ticket]) -> None:
+        groups: dict[tuple[str, str], list[_Ticket]] = {}
+        for ticket in batch:
+            groups.setdefault(ticket.request.batch_key, []).append(ticket)
+        for (kind, name), tickets in groups.items():
+            with self._state_lock:
+                start_ms = self._clock_ms
+            live = self._expire(tickets, start_ms)
+            if not live:
+                continue
+            try:
+                with self._engine_lock:
+                    if kind == "query":
+                        execute_ms, payloads = self._run_query_group(name, live)
+                    else:
+                        execute_ms, payloads = self._run_lookup_group(name, live)
+            except PoolAdmissionError as exc:
+                for ticket in live:
+                    self.metrics.inc("server_pool_rejections")
+                    ticket.future.set_result(
+                        ServedResult(ticket.request, "rejected", error=str(exc))
+                    )
+                continue
+            with self._state_lock:
+                self._clock_ms = start_ms + execute_ms
+                self.metrics.gauge("server_clock_ms", self._clock_ms)
+            self.metrics.inc("server_batches")
+            if len(live) > 1:
+                self.metrics.inc("server_batched_requests", len(live) - 1)
+            for ticket, payload in zip(live, payloads):
+                wait = start_ms - ticket.request.submitted_ms
+                result = ServedResult(
+                    ticket.request,
+                    "ok",
+                    queue_wait_ms=wait,
+                    execute_ms=execute_ms,
+                    batch_size=len(live),
+                    **payload,
+                )
+                self.metrics.inc("server_served")
+                self.metrics.observe("latency_ms", result.latency_ms)
+                self.metrics.observe("queue_wait_ms", wait)
+                self.metrics.observe("execute_ms", execute_ms)
+                ticket.future.set_result(result)
+
+    def _expire(self, tickets: list[_Ticket], now_ms: float) -> list[_Ticket]:
+        live = []
+        for ticket in tickets:
+            timeout = ticket.request.timeout_ms
+            wait = now_ms - ticket.request.submitted_ms
+            if timeout is not None and wait > timeout:
+                self.metrics.inc("server_timeouts")
+                ticket.future.set_result(
+                    ServedResult(ticket.request, "timeout", queue_wait_ms=wait)
+                )
+            else:
+                live.append(ticket)
+        return live
+
+    def _place_pinned(self, columns: tuple[str, ...]):
+        """Stage a group's columns through the pool and pin them for it."""
+        self.store.place_on_device(self.pool, self.device, columns=columns)
+        return self.pool.pinned(*(f"compressed/{c}" for c in columns))
+
+    def _run_query_group(
+        self, name: str, tickets: list[_Ticket]
+    ) -> tuple[float, list[dict]]:
+        query = QUERIES[name]
+        before = self.device.elapsed_ms
+        with self._place_pinned(query.columns):
+            result = self.engine.run(query)
+        execute_ms = self.device.elapsed_ms - before
+        return execute_ms, [{"groups": dict(result.groups)} for _ in tickets]
+
+    def _run_lookup_group(
+        self, name: str, tickets: list[_Ticket]
+    ) -> tuple[float, list[dict]]:
+        col = self.store[name]
+        all_indices = np.concatenate([t.request.indices for t in tickets])
+        before = self.device.elapsed_ms
+        with self._place_pinned((name,)):
+            if self.engine.column_inline(name):
+                fetched = gather(col.payload, all_indices, self.device).values
+            else:
+                # Uncompressed: each index pulls one coalesced element.
+                with self.device.launch(
+                    f"lookup-{name}", grid_blocks=max(1, all_indices.size // 128)
+                ) as k:
+                    k.read_gather(all_indices.size, 4, col.values.size * 4)
+                    k.compute(all_indices.size)
+                fetched = np.asarray(col.values)[all_indices]
+        execute_ms = self.device.elapsed_ms - before
+        payloads = []
+        offset = 0
+        for ticket in tickets:
+            n = ticket.request.indices.size
+            payloads.append({"values": fetched[offset : offset + n]})
+            offset += n
+        return execute_ms, payloads
+
+    def metrics_snapshot(self) -> dict:
+        """Server + pool metrics as one flat dict."""
+        return self.metrics.snapshot()

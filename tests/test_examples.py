@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "updates_and_persistence.py",
     "out_of_core_cache.py",
     "explain_queries.py",
+    "serving_layer.py",
 ]
 
 

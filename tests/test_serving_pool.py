@@ -1,0 +1,173 @@
+"""ColumnPool: admission, cost-aware eviction, pins, capacity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import get_codec
+from repro.gpusim import GPUDevice
+from repro.serving import (
+    ColumnPool,
+    MetricsRegistry,
+    PoolAdmissionError,
+    estimate_decode_cost_ms,
+)
+from repro.ssb.dbgen import generate
+from repro.ssb.loader import load_lineorder
+
+
+class TestAdmission:
+    def test_admit_and_get(self):
+        pool = ColumnPool(1000)
+        pool.admit("a", 400, kind="decoded", payload="payload-a")
+        resident = pool.get("a")
+        assert resident is not None and resident.payload == "payload-a"
+        assert pool.resident_bytes == 400
+
+    def test_miss_counts(self):
+        pool = ColumnPool(1000)
+        assert pool.get("nope") is None
+        assert pool.metrics.counter("pool_misses") == 1
+
+    def test_oversized_payload_rejected(self):
+        pool = ColumnPool(100)
+        with pytest.raises(PoolAdmissionError):
+            pool.admit("huge", 101, kind="compressed")
+        assert pool.metrics.counter("pool_rejections") == 1
+
+    def test_readmission_refreshes_in_place(self):
+        pool = ColumnPool(1000)
+        pool.admit("a", 400, kind="decoded", payload="old")
+        pool.admit("a", 400, kind="decoded", payload="new")
+        assert pool.get("a").payload == "new"
+        assert pool.resident_bytes == 400
+
+    def test_readmission_with_new_size_reaccounts(self):
+        pool = ColumnPool(1000)
+        pool.admit("a", 400, kind="decoded")
+        pool.admit("a", 600, kind="decoded")
+        assert pool.resident_bytes == 600
+
+
+class TestEviction:
+    def test_decoded_evicted_before_compressed(self):
+        pool = ColumnPool(1000)
+        pool.admit("compressed/a", 400, kind="compressed", reconstruct_cost_ms=0.01)
+        pool.admit("decoded/a", 400, kind="decoded", reconstruct_cost_ms=100.0)
+        pool.admit("compressed/b", 400, kind="compressed", reconstruct_cost_ms=0.01)
+        # The decoded image goes first even though it is far costlier to
+        # rebuild and more recent than compressed/a: it is reconstructible.
+        assert "decoded/a" not in pool
+        assert "compressed/a" in pool and "compressed/b" in pool
+
+    def test_cheap_stale_decoded_evicted_first(self):
+        pool = ColumnPool(1000)
+        pool.admit("cheap", 300, kind="decoded", reconstruct_cost_ms=0.001)
+        pool.admit("costly", 300, kind="decoded", reconstruct_cost_ms=10.0)
+        pool.get("costly")  # costly is also the more recently used
+        pool.admit("new", 500, kind="decoded", reconstruct_cost_ms=1.0)
+        assert "cheap" not in pool and "costly" in pool
+
+    def test_recency_discounts_cost(self):
+        pool = ColumnPool(1000)
+        pool.admit("old-costly", 400, kind="decoded", reconstruct_cost_ms=1.0)
+        pool.admit("hot-cheap", 400, kind="decoded", reconstruct_cost_ms=0.9)
+        for _ in range(50):  # age old-costly far beyond its cost edge
+            pool.get("hot-cheap")
+        pool.admit("new", 400, kind="decoded", reconstruct_cost_ms=1.0)
+        assert "old-costly" not in pool and "hot-cheap" in pool
+
+    def test_pinned_residents_never_evicted(self):
+        pool = ColumnPool(1000)
+        pool.admit("pinned", 600, kind="decoded", pin=True)
+        with pytest.raises(PoolAdmissionError):
+            pool.admit("other", 600, kind="decoded")
+        assert "pinned" in pool
+        pool.unpin("pinned")
+        pool.admit("other", 600, kind="decoded")
+        assert "pinned" not in pool
+
+    def test_pinned_context_manager(self):
+        pool = ColumnPool(1000)
+        pool.admit("a", 600, kind="decoded")
+        with pool.pinned("a", "not-resident"):
+            with pytest.raises(PoolAdmissionError):
+                pool.admit("b", 600, kind="decoded")
+        pool.admit("b", 600, kind="decoded")  # unpinned on exit
+        assert "a" not in pool
+
+    def test_budget_never_exceeded(self):
+        pool = ColumnPool(1000)
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            pool.admit(f"r{i}", int(rng.integers(50, 400)), kind="decoded",
+                       reconstruct_cost_ms=float(rng.random()))
+            assert pool.resident_bytes <= 1000
+        snap = pool.metrics_snapshot()
+        assert snap["pool_peak_resident_bytes"] <= 1000
+        assert snap["pool_evictions"] > 0
+
+
+class TestInvalidation:
+    def test_invalidate_drops_even_pinned(self):
+        pool = ColumnPool(1000)
+        pool.admit("a", 400, kind="decoded", pin=True)
+        assert pool.invalidate("a")
+        assert "a" not in pool
+        pool.unpin("a")  # balanced release after invalidation is a no-op
+
+    def test_invalidate_prefix(self):
+        pool = ColumnPool(1000)
+        pool.admit("decoded/x", 100, kind="decoded")
+        pool.admit("tilemeta/x", 100, kind="meta")
+        pool.admit("decoded/y", 100, kind="decoded")
+        assert pool.invalidate_prefix("decoded/") == 2
+        assert pool.resident_keys == ["tilemeta/x"]
+
+
+class TestDecodeCostEstimate:
+    def test_tile_codec_cost_positive_and_scales(self):
+        device = GPUDevice()
+        values = np.arange(200_000, dtype=np.int64)
+        small = get_codec("gpu-for").encode(values[:20_000])
+        large = get_codec("gpu-for").encode(values)
+        assert estimate_decode_cost_ms(small, device) > 0
+        assert estimate_decode_cost_ms(large, device) > estimate_decode_cost_ms(
+            small, device
+        )
+
+    def test_non_encoded_payload_is_free(self):
+        assert estimate_decode_cost_ms(None, GPUDevice()) == 0.0
+
+
+class TestStorePlacement:
+    """Satellite: loading past ``capacity_bytes`` must raise, not succeed."""
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate(scale_factor=0.002, seed=7)
+
+    def test_placement_charges_transfer_once(self, db):
+        store = load_lineorder(db, "gpu-star")
+        pool = ColumnPool(store.total_bytes + 1)
+        device = GPUDevice()
+        first = store.place_on_device(pool, device)
+        again = store.place_on_device(pool, device)
+        assert first > 0.0 and again == 0.0
+        assert pool.resident_bytes == store.total_bytes
+
+    def test_column_over_budget_raises(self, db):
+        store = load_lineorder(db, "gpu-star")
+        largest = max(c.nbytes for c in store.columns.values())
+        pool = ColumnPool(largest - 1)
+        with pytest.raises(PoolAdmissionError):
+            store.place_on_device(pool, GPUDevice())
+
+    def test_tiny_budget_evicts_to_fit(self, db):
+        store = load_lineorder(db, "gpu-star")
+        sizes = sorted(c.nbytes for c in store.columns.values())
+        budget = sizes[-1] + sizes[-2]  # room for the two largest only
+        pool = ColumnPool(budget, metrics=MetricsRegistry())
+        store.place_on_device(pool, GPUDevice())
+        snap = pool.metrics_snapshot()
+        assert snap["pool_peak_resident_bytes"] <= budget
+        assert snap["pool_evictions"] > 0
