@@ -29,6 +29,7 @@ from repro.experiments import (
     multigpu_scaling,
     opt_ladder,
     planner_obsolete,
+    pushdown_sweep,
     random_access,
     related_work,
     sensitivity_gpu,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "sensitivity": (sensitivity_gpu, "extension — V100 vs A100"),
     "related_work": (related_work, "extension — VByte/PFOR/Simple-8b vs GPU-FOR"),
     "planner_obsolete": (planner_obsolete, "claims — §1: pick-by-ratio is safe under tile decode"),
+    "pushdown": (pushdown_sweep, "extension — metadata tile skipping vs selectivity"),
     "interconnect": (interconnect_sweep, "extension — coprocessor speedup vs link generation"),
     "multigpu": (multigpu_scaling, "extension — sharded decompression scaling"),
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),

@@ -28,11 +28,12 @@ import numpy as np
 from repro.core.nvcomp import decompress_nvcomp
 from repro.core.planner import decompress_planned
 from repro.core.tile_decompress import decompress
-from repro.formats.base import TileCodec
+from repro.formats.base import TileCodec, exact_tile_bounds, ragged_arange
 from repro.formats.registry import get_codec
 from repro.gpusim.executor import GPUDevice
 from repro.gpusim.memory import linear_bytes
 from repro.engine.lookup import MISS, Lookup, make_lookup
+from repro.engine.predicates import And, ColumnPredicate, column_predicates
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
 
@@ -95,6 +96,7 @@ class CrystalEngine:
         store: ColumnStore,
         device: GPUDevice | None = None,
         pool: "ColumnPool | None" = None,
+        pushdown: bool = True,
     ):
         self.db = db
         self.store = store
@@ -103,10 +105,14 @@ class CrystalEngine:
         #: residents of the serving layer's ColumnPool instead of the
         #: unbounded per-engine dicts — device capacity is then enforced.
         self.pool = pool
+        #: Whether :meth:`FactPipeline.filter_pushdown` may skip tiles
+        #: from codec bounds; off, queries run the unpruned plan.
+        self.pushdown = pushdown
         self.num_rows = db.num_lineorder_rows
         self.num_tiles = -(-self.num_rows // TILE)
         self._tile_bytes_cache: dict[str, np.ndarray] = {}
         self._decoded_cache: dict[str, np.ndarray] = {}
+        self._bounds_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._staged = store.system == "omnisci"
         self._last_timeline: list[dict] = []
 
@@ -163,12 +169,169 @@ class CrystalEngine:
             pass  # image exceeds the whole budget: serve it uncached
         return values
 
+    def column_values_pruned(self, name: str, tile_active: np.ndarray) -> np.ndarray:
+        """Late-materialized column load: decode only the active tiles.
+
+        Rows of pruned tiles are left zero-filled; the caller must make
+        sure its selection mask excludes them (pushdown only prunes a
+        tile when its bounds prove no row can match, so those rows are
+        dead by construction).  Partial images are never cached — the
+        cache holds only full decoded columns.
+        """
+        col = self.store[name]
+        if not self.column_inline(name):
+            return col.values
+        tile_active = np.asarray(tile_active, dtype=bool)
+        if tile_active.all():
+            return self.column_values(name)
+        # A cached full image is strictly better than a partial decode.
+        if self.pool is not None:
+            if self.pool.lookup(f"decoded/{name}") is not None:
+                return self.pool.get(f"decoded/{name}").payload
+        else:
+            cached = self._decoded_cache.get(name)
+            if cached is not None:
+                return cached
+        codec = get_codec(col.codec_name)
+        assert isinstance(codec, TileCodec)
+        enc = col.payload
+        idx = self._active_codec_tiles(codec, enc, tile_active)
+        out = np.zeros(enc.count, dtype=enc.dtype)
+        if idx.size:
+            elems = codec.tile_elements(enc)
+            vals = codec.decode_tiles(enc, idx)
+            lens = np.minimum((idx + 1) * elems, enc.count) - idx * elems
+            pos = np.repeat(idx * elems, lens) + ragged_arange(lens)
+            out[pos] = vals
+        return out
+
+    def _active_codec_tiles(
+        self, codec: TileCodec, enc, tile_active: np.ndarray
+    ) -> np.ndarray:
+        """Map an engine-tile activity mask to surviving codec tiles."""
+        n_codec = codec.num_tiles(enc)
+        elems = codec.tile_elements(enc)
+        if elems == TILE:
+            mask = tile_active[:n_codec]
+        elif TILE % elems == 0:
+            factor = TILE // elems
+            mask = np.repeat(tile_active, factor)[:n_codec]
+        elif elems % TILE == 0:
+            # One codec tile spans several engine tiles: decode it if any
+            # of them survived.
+            factor = elems // TILE
+            padded = np.zeros(n_codec * factor, dtype=bool)
+            padded[: tile_active.size] = tile_active
+            mask = padded.reshape(n_codec, factor).any(axis=1)
+        else:
+            raise ValueError(
+                f"codec tile of {elems} rows does not divide the engine "
+                f"tile of {TILE}"
+            )
+        return np.flatnonzero(mask)
+
+    def column_tile_bounds(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Conservative per-engine-tile value bounds for a fact column.
+
+        Inline GPU-* columns derive them from codec block metadata
+        (references + bitwidths) without decoding; uncompressed columns
+        get exact min/max zone maps.  Bounds are cached — in the serving
+        pool when one is attached, so they survive eviction of the much
+        larger decoded images.
+        """
+        if self.pool is not None:
+            key = f"bounds/{name}"
+            resident = self.pool.get(key)
+            if resident is not None:
+                return resident.payload
+            bounds = self._compute_tile_bounds(name)
+            from repro.serving.pool import PoolAdmissionError
+
+            try:
+                self.pool.admit(
+                    key,
+                    bounds[0].nbytes + bounds[1].nbytes,
+                    kind="meta",
+                    payload=bounds,
+                )
+            except PoolAdmissionError:
+                pass
+            return bounds
+        cached = self._bounds_cache.get(name)
+        if cached is None:
+            self._bounds_cache[name] = cached = self._compute_tile_bounds(name)
+        return cached
+
+    def _compute_tile_bounds(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        col = self.store[name]
+        if self.column_inline(name):
+            codec = get_codec(col.codec_name)
+            enc = col.payload
+            mins, maxs = codec.tile_bounds(enc)
+            return self._regroup_bounds(mins, maxs, codec.bounds_elements(enc))
+        mins, maxs = exact_tile_bounds(col.values, TILE)
+        return self._regroup_bounds(mins, maxs, TILE)
+
+    def _regroup_bounds(
+        self, mins: np.ndarray, maxs: np.ndarray, bounds_elems: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Regroup codec-granularity bounds to engine tiles of :data:`TILE`.
+
+        Padding uses identity sentinels (``INT64_MAX`` for mins,
+        ``INT64_MIN`` for maxs): tiles past the data match nothing, so
+        any predicate prunes them for free.
+        """
+        lo_pad = np.iinfo(np.int64).max
+        hi_pad = np.iinfo(np.int64).min
+        if bounds_elems == TILE:
+            pass
+        elif TILE % bounds_elems == 0:
+            factor = TILE // bounds_elems
+            padded_lo = np.full(self.num_tiles * factor, lo_pad, dtype=np.int64)
+            padded_hi = np.full(self.num_tiles * factor, hi_pad, dtype=np.int64)
+            padded_lo[: mins.size] = mins
+            padded_hi[: maxs.size] = maxs
+            mins = padded_lo.reshape(self.num_tiles, factor).min(axis=1)
+            maxs = padded_hi.reshape(self.num_tiles, factor).max(axis=1)
+        elif bounds_elems % TILE == 0:
+            factor = bounds_elems // TILE
+            mins = np.repeat(mins, factor)
+            maxs = np.repeat(maxs, factor)
+        else:
+            raise ValueError(
+                f"bounds granularity of {bounds_elems} rows does not divide "
+                f"the engine tile of {TILE}"
+            )
+        if mins.size != self.num_tiles:
+            out_lo = np.full(self.num_tiles, lo_pad, dtype=np.int64)
+            out_hi = np.full(self.num_tiles, hi_pad, dtype=np.int64)
+            n = min(mins.size, self.num_tiles)
+            out_lo[:n] = mins[:n]
+            out_hi[:n] = maxs[:n]
+            mins, maxs = out_lo, out_hi
+        return mins, maxs
+
+    def evict_decoded(self) -> None:
+        """Drop every decoded image while keeping derived metadata.
+
+        The serving pool's eviction pattern: decoded images are the big
+        evictable payloads, while zone-map bounds and per-tile traffic
+        metadata are tiny and survive — so the next query re-decodes
+        (only the tiles it needs, under pushdown) but never re-derives
+        metadata.
+        """
+        self._decoded_cache.clear()
+        if self.pool is not None:
+            for name in self.store.columns:
+                self.pool.invalidate(f"decoded/{name}")
+
     def invalidate_column(self, name: str) -> None:
         """Drop every cached derivative of a column (it was re-encoded)."""
         self._decoded_cache.pop(name, None)
         self._tile_bytes_cache.pop(name, None)
+        self._bounds_cache.pop(name, None)
         if self.pool is not None:
-            for prefix in ("decoded/", "tilemeta/", "compressed/"):
+            for prefix in ("decoded/", "tilemeta/", "compressed/", "bounds/"):
                 self.pool.invalidate(prefix + name)
 
     def bind_updatable(self, name: str, column: "UpdatableColumn") -> None:
@@ -368,6 +531,10 @@ class FactPipeline:
         self.mask = np.ones(self.n, dtype=bool)
         self.tile_active = np.ones(engine.num_tiles, dtype=np.int64).astype(bool)
         self._finished = False
+        # Scratch for per-tile mask reduction: allocated once per pipeline
+        # instead of per filter() call.  Rows past ``n`` are padding and
+        # stay False forever (only [:n] is ever written).
+        self._pad_scratch = np.zeros(engine.num_tiles * TILE, dtype=bool)
         # Fused-kernel accumulators.
         self._read_bytes = 0
         self._write_bytes = 0
@@ -389,6 +556,9 @@ class FactPipeline:
         tile_bytes = engine.tile_read_bytes(name)
         read = int(tile_bytes[self.tile_active].sum())
         active_rows = int(self.tile_active.sum()) * TILE
+        if self.tile_active.size and self.tile_active[-1]:
+            # The last tile holds only the tail rows, not a full TILE.
+            active_rows -= engine.num_tiles * TILE - self.n
         self._cols_loaded += 1
 
         if self.staged:
@@ -434,7 +604,48 @@ class FactPipeline:
         else:
             self._extra_regs += D_PER_THREAD
             self._compute += active_rows  # BlockLoad index arithmetic
-        return engine.column_values(name)
+        return engine.column_values_pruned(name, self.tile_active)
+
+    def filter_pushdown(self, predicate: "ColumnPredicate | And | None") -> int:
+        """Prune tiles from codec bounds before any column is loaded.
+
+        For each single-column conjunct the engine consults the column's
+        per-tile bounds (derived from codec block metadata, no decode)
+        and drops every tile the predicate provably cannot match.
+        Subsequent :meth:`load` calls then read and decode only the
+        surviving tiles — the metadata-driven tile skipping the paper's
+        tile decomposition enables.
+
+        The exact row filters must still run afterwards (bounds are
+        conservative); pruning only removes work, never rows that could
+        match.  No-op for the staged engine (row-at-a-time access has no
+        tile granularity) or when the engine was built with
+        ``pushdown=False``.
+
+        Returns:
+            Number of tiles newly pruned.
+        """
+        self._check_open()
+        preds = column_predicates(predicate)
+        if self.staged or not self.engine.pushdown or not preds:
+            return 0
+        engine = self.engine
+        before = int(self.tile_active.sum())
+        for pred in preds:
+            mins, maxs = engine.column_tile_bounds(pred.column)
+            self.tile_active &= pred.tile_may_match(mins, maxs)
+            # Zone-map metadata scan: two bound words plus one interval
+            # compare per tile per column — negligible next to the
+            # payload reads it saves.
+            self._read_bytes += engine.num_tiles * 16
+            self._compute += engine.num_tiles * 2
+        pruned = before - int(self.tile_active.sum())
+        if pruned:
+            # Late materialization leaves pruned tiles zero-filled, so
+            # their rows must be dead in the selection mask.  Sound
+            # because a pruned tile provably contains no matching row.
+            self.mask &= np.repeat(self.tile_active, TILE)[: self.n]
+        return pruned
 
     def filter(self, rowmask: np.ndarray) -> None:
         """AND a row predicate into the pipeline's selection."""
@@ -443,9 +654,34 @@ class FactPipeline:
         if rowmask.shape != (self.n,):
             raise ValueError("filter mask must cover every fact row")
         self.mask &= rowmask
-        padded = np.zeros(self.engine.num_tiles * TILE, dtype=bool)
-        padded[: self.n] = self.mask
-        self.tile_active &= padded.reshape(-1, TILE).any(axis=1)
+        self._after_mask_update()
+
+    def filter_predicate(self, predicate: ColumnPredicate, values: np.ndarray) -> None:
+        """AND a predicate's exact row filter into the selection.
+
+        Unlike :meth:`filter` this evaluates the comparison only on
+        currently-live rows: after pushdown most rows belong to pruned
+        (undecoded, zero-filled) tiles, and late materialization means
+        never inspecting their values at all.
+        """
+        self._check_open()
+        values = np.asarray(values)
+        if values.shape != (self.n,):
+            raise ValueError("filter values must cover every fact row")
+        live = self.live_count
+        if live * 2 < self.n:
+            self.mask[self.mask] = predicate.row_mask(values[self.mask])
+        else:
+            # Mostly-live selection: the dense compare is cheaper than a
+            # gather + scatter round trip.
+            self.mask &= predicate.row_mask(values)
+        self._after_mask_update()
+
+    def _after_mask_update(self) -> None:
+        """Refresh tile activity and price the filter step."""
+        scratch = self._pad_scratch
+        scratch[: self.n] = self.mask
+        self.tile_active &= scratch.reshape(-1, TILE).any(axis=1)
         if self.staged:
             self._staged_kernel(
                 f"filter-{self.name}",
@@ -501,15 +737,49 @@ class FactPipeline:
         if live_codes.size and (live_codes.min() < 0 or live_codes.max() >= num_groups):
             raise ValueError("group codes out of range")
         sums = np.bincount(
-            live_codes, weights=np.asarray(weights, dtype=np.float64)[self.mask],
+            live_codes,
+            weights=np.asarray(weights)[self.mask].astype(np.float64),
             minlength=num_groups,
         )
         return {int(c): int(sums[c]) for c in np.flatnonzero(sums)}
 
     def total_sum(self, values: np.ndarray) -> dict[int, int]:
         """Ungrouped ``sum(values)`` over live rows (query flight 1)."""
-        result = self.group_sum(np.zeros(self.n, dtype=np.int64), values, 1)
-        return result if result else {0: 0}
+        self._account_aggregate(num_groups=1)
+        if self.live_count == 0:
+            return {0: 0}
+        return {0: int(np.asarray(values, dtype=np.int64)[self.mask].sum())}
+
+    def total_sum_product(self, a: np.ndarray, b: np.ndarray) -> dict[int, int]:
+        """Ungrouped ``sum(a*b)`` over live rows (the flight-1 aggregate).
+
+        The fused kernel forms the product inside its aggregation loop,
+        so the host side multiplies only the selected rows instead of
+        materializing a full product column.
+        """
+        self._account_aggregate(num_groups=1)
+        if self.live_count == 0:
+            return {0: 0}
+        lhs = np.asarray(a, dtype=np.int64)[self.mask]
+        rhs = np.asarray(b, dtype=np.int64)[self.mask]
+        return {0: int((lhs * rhs).sum())}
+
+    def _account_aggregate(self, num_groups: int) -> None:
+        """Traffic/compute bookkeeping shared by the sum aggregates."""
+        self._check_open()
+        count = self.live_count
+        if self.staged:
+            self._staged_kernel(
+                f"aggregate-{self.name}",
+                read_bytes=self.n * 8 + self.n,
+                write_bytes=num_groups * 8,
+                ops=self.n * (OMNISCI_OP_OVERHEAD + 8),
+                scatters=(count, 8, num_groups * 8),
+            )
+        else:
+            self._compute += count * 8
+            self._gathers.append((min(count, num_groups * 4), 8, num_groups * 8))
+            self._write_bytes += num_groups * 8
 
     def group_aggregate(
         self,

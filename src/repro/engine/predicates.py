@@ -1,0 +1,158 @@
+"""Column predicate IR for metadata-driven tile skipping.
+
+The paper's tile decomposition (Section 4) gives every codec a natural
+pruning granularity: a tile's block headers bound all of its values, so a
+selective scan can skip whole tiles *before* decoding them.  This module
+is the small predicate language the engine prunes with.
+
+Each :class:`ColumnPredicate` answers two questions about one column:
+
+* :meth:`~ColumnPredicate.row_mask` — the exact per-row filter, applied
+  to decoded values (what the fused query kernel evaluates).
+* :meth:`~ColumnPredicate.tile_may_match` — a conservative per-tile test
+  against codec bounds ``[mins[t], maxs[t]]``.  ``False`` means the tile
+  provably contains no matching row and may be skipped; ``True`` only
+  means "cannot rule it out".
+
+Predicates compose with :class:`And`, matching the conjunctive filters
+of the SSB queries (Section 8): a tile survives only if every conjunct
+may match it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "And",
+    "ColumnPredicate",
+    "Equals",
+    "InSet",
+    "Range",
+    "column_predicates",
+]
+
+
+class ColumnPredicate:
+    """A filter on a single column, usable both per-row and per-tile."""
+
+    #: Name of the column the predicate constrains.
+    column: str
+
+    def row_mask(self, values: np.ndarray) -> np.ndarray:
+        """Exact boolean mask over decoded ``values``."""
+        raise NotImplementedError
+
+    def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        """Conservative per-tile test against inclusive bounds.
+
+        Args:
+            mins: Per-tile lower bounds (``int64``, one entry per tile).
+            maxs: Per-tile upper bounds, aligned with ``mins``.
+
+        Returns:
+            Boolean array; ``False`` marks tiles that provably contain
+            no row satisfying the predicate.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Range(ColumnPredicate):
+    """``lo <= column <= hi`` (either bound optional, both inclusive)."""
+
+    column: str
+    lo: int | None = None
+    hi: int | None = None
+
+    def row_mask(self, values: np.ndarray) -> np.ndarray:
+        mask = np.ones(np.asarray(values).shape, dtype=bool)
+        if self.lo is not None:
+            mask &= values >= self.lo
+        if self.hi is not None:
+            mask &= values <= self.hi
+        return mask
+
+    def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        # The tile interval [mins, maxs] must overlap [lo, hi].
+        may = np.ones(np.asarray(mins).shape, dtype=bool)
+        if self.lo is not None:
+            may &= maxs >= self.lo
+        if self.hi is not None:
+            may &= mins <= self.hi
+        return may
+
+
+@dataclass(frozen=True)
+class Equals(ColumnPredicate):
+    """``column == value``."""
+
+    column: str
+    value: int
+
+    def row_mask(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values) == self.value
+
+    def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        return (mins <= self.value) & (self.value <= maxs)
+
+
+@dataclass(frozen=True)
+class InSet(ColumnPredicate):
+    """``column IN values`` for a small explicit set."""
+
+    column: str
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(int(v) for v in self.values)))
+        object.__setattr__(self, "values", ordered)
+
+    def row_mask(self, values: np.ndarray) -> np.ndarray:
+        if not self.values:
+            return np.zeros(np.asarray(values).shape, dtype=bool)
+        return np.isin(values, np.asarray(self.values, dtype=np.int64))
+
+    def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        mins = np.asarray(mins)
+        if not self.values:
+            return np.zeros(mins.shape, dtype=bool)
+        vals = np.asarray(self.values, dtype=np.int64)
+        # A tile may match iff some set member falls inside [min, max]:
+        # with vals sorted, that is one pair of binary searches per tile.
+        first_ge_min = np.searchsorted(vals, mins, side="left")
+        first_gt_max = np.searchsorted(vals, maxs, side="right")
+        return first_ge_min < first_gt_max
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of single-column predicates (the SSB filter shape)."""
+
+    predicates: tuple[ColumnPredicate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        flat: list[ColumnPredicate] = []
+        for pred in self.predicates:
+            if isinstance(pred, And):
+                flat.extend(pred.predicates)
+            else:
+                flat.append(pred)
+        object.__setattr__(self, "predicates", tuple(flat))
+
+
+def column_predicates(
+    predicate: ColumnPredicate | And | None,
+) -> tuple[ColumnPredicate, ...]:
+    """Normalize a predicate (or conjunction, or ``None``) to a flat tuple."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, And):
+        return predicate.predicates
+    if isinstance(predicate, ColumnPredicate):
+        return (predicate,)
+    raise TypeError(
+        f"expected ColumnPredicate or And, got {type(predicate).__name__}"
+    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.crystal import MISS, CrystalEngine, SSBQuery
+from repro.engine.predicates import And, Range
 
 # -- dictionary codes for the SSB literals used by the queries -------------
 
@@ -49,21 +50,38 @@ def _year_code(years: np.ndarray) -> np.ndarray:
     return years - 1992
 
 
+def _datekey_range(db, date_mask: np.ndarray) -> Range:
+    """Bound ``lo_orderdate`` by the selected dimension rows' datekeys.
+
+    Semijoin reduction to a range: the dense YYYYMMDD datekeys of the
+    qualifying ``date`` rows bound every fact row that can survive the
+    date join, letting pushdown skip tiles on date-clustered data.  An
+    empty selection yields an unsatisfiable range (prunes everything).
+    """
+    keys = db.date["d_datekey"][np.asarray(date_mask, dtype=bool)]
+    if keys.size == 0:
+        return Range("lo_orderdate", 1, 0)
+    return Range("lo_orderdate", int(keys.min()), int(keys.max()))
+
+
 # -- query flight 1: filtered scans ----------------------------------------
 
 
 def _flight1(engine: CrystalEngine, name: str, date_mask: np.ndarray,
              disc_lo: int, disc_hi: int, qty_lo: int, qty_hi: int) -> dict[int, int]:
     date_lu = engine.build_lookup("date", "d_datekey", mask=date_mask)
+    disc = Range("lo_discount", disc_lo, disc_hi)
+    qty = Range("lo_quantity", qty_lo, qty_hi)
     p = engine.pipeline(name)
+    p.filter_pushdown(And((_datekey_range(engine.db, date_mask), disc, qty)))
     orderdate = p.load("lo_orderdate")
     p.filter(p.probe(date_lu, orderdate) != MISS)
     discount = p.load("lo_discount")
-    p.filter((discount >= disc_lo) & (discount <= disc_hi))
+    p.filter_predicate(disc, discount)
     quantity = p.load("lo_quantity")
-    p.filter((quantity >= qty_lo) & (quantity <= qty_hi))
+    p.filter_predicate(qty, quantity)
     extendedprice = p.load("lo_extendedprice")
-    result = p.total_sum(extendedprice * discount)
+    result = p.total_sum_product(extendedprice, discount)
     p.finish()
     return result
 
@@ -159,6 +177,7 @@ def _flight3(engine: CrystalEngine, name: str,
         "date", "d_datekey", payload=_year_code(db.date["d_year"]), mask=date_mask
     )
     p = engine.pipeline(name)
+    p.filter_pushdown(_datekey_range(db, date_mask))
     custkey = p.load("lo_custkey")
     cgroup = p.probe(cust_lu, custkey)
     p.filter(cgroup != MISS)
@@ -295,11 +314,13 @@ def q4_2(engine: CrystalEngine) -> dict[int, int]:
         "part", "p_partkey", payload=db.part["p_category"],
         mask=np.isin(db.part["p_mfgr"], (0, 1)),
     )
+    date_mask = np.isin(db.date["d_year"], (1997, 1998))
     date_lu = engine.build_lookup(
         "date", "d_datekey", payload=_year_code(db.date["d_year"]),
-        mask=np.isin(db.date["d_year"], (1997, 1998)),
+        mask=date_mask,
     )
     p = engine.pipeline("q4.2")
+    p.filter_pushdown(_datekey_range(db, date_mask))
     _, snation, category, year, profit = _load_profit(
         p, date_lu, cust_lu, supp_lu, part_lu
     )
@@ -327,11 +348,13 @@ def q4_3(engine: CrystalEngine) -> dict[int, int]:
         "part", "p_partkey", payload=db.part["p_brand1"],
         mask=db.part["p_category"] == CATEGORY_MFGR14,
     )
+    date_mask = np.isin(db.date["d_year"], (1997, 1998))
     date_lu = engine.build_lookup(
         "date", "d_datekey", payload=_year_code(db.date["d_year"]),
-        mask=np.isin(db.date["d_year"], (1997, 1998)),
+        mask=date_mask,
     )
     p = engine.pipeline("q4.3")
+    p.filter_pushdown(_datekey_range(db, date_mask))
     _, scity, brand, year, profit = _load_profit(p, date_lu, cust_lu, supp_lu, part_lu)
     codes = (
         np.where(year >= 0, year, 0) * _CITIES + np.where(scity >= 0, scity, 0)

@@ -18,6 +18,7 @@ from repro.experiments import (
     multigpu_scaling,
     opt_ladder,
     planner_obsolete,
+    pushdown_sweep,
     random_access,
     related_work,
     sensitivity_gpu,
@@ -40,6 +41,7 @@ __all__ = [
     "multigpu_scaling",
     "opt_ladder",
     "planner_obsolete",
+    "pushdown_sweep",
     "random_access",
     "related_work",
     "sensitivity_gpu",

@@ -140,6 +140,55 @@ class ColumnCodec(abc.ABC):
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         """Kernel passes a layer-at-a-time decompressor needs (Figure 2 left)."""
 
+    # -- pushdown metadata ---------------------------------------------------
+
+    def bounds_elements(self, enc: EncodedColumn) -> int:
+        """Logical elements covered by one :meth:`tile_bounds` entry."""
+        raise NotImplementedError(f"codec {self.name} exposes no tile bounds")
+
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Per-tile inclusive value bounds for predicate pushdown.
+
+        Returns ``(mins, maxs)`` int64 arrays with one entry per group of
+        :meth:`bounds_elements` logical values, satisfying the **bounds
+        contract**: every logical value ``v`` of tile ``t`` obeys
+        ``mins[t] <= v <= maxs[t]``.  Bounds may be conservative (not
+        attained) but must never exclude a stored value — a query may
+        skip decoding any tile whose bounds rule out its predicate.
+
+        The block formats derive these for free from the metadata they
+        already store (FOR references and miniblock bitwidths); codecs
+        without bounding metadata cache exact bounds at encode time.
+        """
+        raise NotImplementedError(f"codec {self.name} exposes no tile bounds")
+
+
+def exact_tile_bounds(
+    values: np.ndarray, tile_elements: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact per-tile ``[min, max]`` of ``values`` in tiles of ``tile_elements``.
+
+    The encode-time fallback for codecs whose physical metadata does not
+    bound their values: computed once from the raw column while it is
+    still in hand, then carried in ``EncodedColumn.meta`` (host-side
+    zone-map metadata, not part of the compressed device footprint).
+
+    Returns:
+        ``(mins, maxs)`` int64 arrays of ``ceil(len(values)/tile_elements)``
+        entries; the last tile may cover fewer than ``tile_elements``.
+    """
+    if tile_elements < 1:
+        raise ValueError(f"tile_elements must be >= 1, got {tile_elements}")
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    edges = np.arange(0, values.size, tile_elements, dtype=np.int64)
+    return (
+        np.minimum.reduceat(values, edges),
+        np.maximum.reduceat(values, edges),
+    )
+
 
 def ragged_arange(counts: np.ndarray) -> np.ndarray:
     """``[0..counts[0]), [0..counts[1]), ...`` concatenated (vectorized)."""
@@ -282,6 +331,32 @@ class TileCodec(ColumnCodec):
                 f"column with {n_tiles} tiles"
             )
         return self.decode_tiles(enc, np.arange(first_tile, last_tile))
+
+    def bounds_elements(self, enc: EncodedColumn) -> int:
+        """Bounds granularity: one entry per decode tile."""
+        return self.tile_elements(enc)
+
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Per-decode-tile value bounds (see :meth:`ColumnCodec.tile_bounds`).
+
+        The base implementation serves encode-time exact bounds cached in
+        ``enc.meta`` (``tile_mins`` / ``tile_maxs``) when present, and
+        otherwise falls back to one batched decode — exact, but paying
+        the decode cost the metadata-derived overrides avoid.
+        """
+        mins = enc.meta.get("tile_mins")
+        maxs = enc.meta.get("tile_maxs")
+        if mins is not None and maxs is not None:
+            return (
+                np.asarray(mins, dtype=np.int64),
+                np.asarray(maxs, dtype=np.int64),
+            )
+        n_tiles = self.num_tiles(enc)
+        if n_tiles == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        values = self.decode_range(enc, 0, n_tiles).astype(np.int64)
+        return exact_tile_bounds(values, self.tile_elements(enc))
 
     @abc.abstractmethod
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:

@@ -21,6 +21,7 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    exact_tile_bounds,
     ragged_arange,
     trim_tile_chunks,
 )
@@ -75,6 +76,12 @@ class GpuBp(TileCodec):
             )
             data[dest.reshape(-1)] = packed.reshape(-1)
 
+        # GPU-BP stores no reference, so its headers only bound values by
+        # [0, 2**bits - 1]; cache exact per-tile bounds at encode time
+        # instead (host-side zone-map metadata, not compressed bytes).
+        tile_mins, tile_maxs = exact_tile_bounds(
+            values.astype(np.int64), self._d_blocks * BLOCK
+        )
         return EncodedColumn(
             codec=self.name,
             count=n,
@@ -83,7 +90,11 @@ class GpuBp(TileCodec):
                 "block_starts": block_starts.astype(np.uint32),
                 "data": data,
             },
-            meta={"d_blocks": self._d_blocks},
+            meta={
+                "d_blocks": self._d_blocks,
+                "tile_mins": tile_mins,
+                "tile_maxs": tile_maxs,
+            },
             dtype=values.dtype,
         )
 

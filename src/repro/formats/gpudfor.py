@@ -30,6 +30,9 @@ from repro.formats.base import (
 )
 from repro.formats.gpufor import (
     BLOCK,
+    MINIBLOCK,
+    MINIBLOCKS_PER_BLOCK,
+    block_metadata,
     pack_blocks,
     unpack_block_indices,
     unpack_blocks,
@@ -170,6 +173,40 @@ class GpuDFor(TileCodec):
         return trim_tile_chunks(
             values.reshape(-1), np.full(tiles.size, tile, dtype=np.int64), keep
         ).astype(enc.dtype, copy=False)
+
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-decode bounds by bounding the tile's delta prefix sums.
+
+        Every delta of miniblock ``k`` lies in ``[lo_k, hi_k]`` where
+        ``lo_k`` is the block's FOR reference and ``hi_k = lo_k +
+        2**bits_k - 1``.  A value at position ``p`` inside miniblock
+        ``k`` is ``first + (full prior miniblocks) + (1..32 deltas of
+        k)``, so per miniblock the reachable minimum is the exclusive
+        prefix of ``32*lo`` plus ``min(lo, 32*lo)`` (and symmetrically
+        for the maximum) — conservative, but metadata-only.
+        """
+        if enc.count == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        d = self.d_blocks(enc)
+        references, bits = block_metadata(
+            enc.arrays["data"], enc.arrays["block_starts"]
+        )
+        # Per-miniblock delta bounds, grouped per tile (the encoder pads
+        # to whole tiles, so every tile holds exactly d blocks).
+        minis_per_tile = d * MINIBLOCKS_PER_BLOCK
+        lo = np.repeat(references, MINIBLOCKS_PER_BLOCK).reshape(-1, minis_per_tile)
+        hi = (references[:, None] + (np.int64(1) << bits) - 1).reshape(
+            -1, minis_per_tile
+        )
+        full_lo = lo * MINIBLOCK
+        full_hi = hi * MINIBLOCK
+        prefix_lo = np.cumsum(full_lo, axis=1) - full_lo  # exclusive prefix
+        prefix_hi = np.cumsum(full_hi, axis=1) - full_hi
+        reach_lo = (prefix_lo + np.minimum(lo, full_lo)).min(axis=1)
+        reach_hi = (prefix_hi + np.maximum(hi, full_hi)).max(axis=1)
+        first_values = enc.arrays["first_values"].astype(np.int64)
+        return first_values + reach_lo, first_values + reach_hi
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -156,6 +156,30 @@ def pack_blocks(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return data, block_starts.astype(np.uint32), bits
 
 
+def block_metadata(
+    data: np.ndarray, block_starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block ``(references, miniblock_bitwidths)`` without unpacking.
+
+    Reads only the two header words of each block packed by
+    :func:`pack_blocks` — the metadata a zone-map/pushdown pass needs:
+    the FOR reference is the exact block minimum, and
+    ``reference + 2**bits - 1`` bounds every value of a miniblock.
+
+    Returns:
+        ``(references, bits)`` — int64 arrays of shapes ``(n_blocks,)``
+        and ``(n_blocks, 4)``.
+    """
+    bstarts = np.asarray(block_starts, dtype=np.int64)[:-1]
+    references = data[bstarts].view(np.int32).astype(np.int64)
+    bw_words = data[bstarts + 1]
+    bits = np.stack(
+        [(bw_words >> (8 * j)) & 0xFF for j in range(MINIBLOCKS_PER_BLOCK)],
+        axis=1,
+    ).astype(np.int64)
+    return references, bits
+
+
 def unpack_block_indices(
     data: np.ndarray,
     block_starts: np.ndarray,
@@ -313,6 +337,27 @@ class GpuFor(TileCodec):
         vals = unpack_block_indices(enc.arrays["data"], enc.arrays["block_starts"], blocks)
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
         return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
+
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-decode bounds from the block headers.
+
+        The FOR reference *is* each block's minimum, so the mins are
+        exact; the maxs are ``reference + 2**widest_miniblock - 1``, the
+        tightest bound the stored bitwidths give without unpacking.
+        """
+        n_blocks = enc.arrays["block_starts"].size - 1
+        if n_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        references, bits = block_metadata(
+            enc.arrays["data"], enc.arrays["block_starts"]
+        )
+        block_max = references + (np.int64(1) << bits.max(axis=1)) - 1
+        edges = np.arange(0, n_blocks, self.d_blocks(enc), dtype=np.int64)
+        return (
+            np.minimum.reduceat(references, edges),
+            np.maximum.reduceat(block_max, edges),
+        )
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -239,6 +239,45 @@ class GpuRFor(TileCodec):
         )
         return trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep).astype(enc.dtype, copy=False)
 
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-decode bounds from the run-values stream's metadata.
+
+        Run lengths never change a block's value set, so only the values
+        stream matters: its ragged-FOR reference is the exact minimum of
+        the block's run values (= the block minimum), and ``reference +
+        2**widest_miniblock - 1`` bounds every run value from the stored
+        bitwidth bytes alone.
+        """
+        counts = enc.arrays["run_counts"].astype(np.int64)
+        n_blocks = counts.size
+        if n_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        from repro.formats.gpufor import MINIBLOCK
+
+        data = enc.arrays["values_data"]
+        bstarts = enc.arrays["values_starts"].astype(np.int64)[:-1]
+        references = data[bstarts].view(np.int32).astype(np.int64)
+
+        # Walk the bitwidth bytes exactly as unpack_ragged_blocks does,
+        # but stop there: no payload words are touched.
+        padded_counts = np.maximum(-(-counts // MINIBLOCK), 1) * MINIBLOCK
+        minis_per_block = padded_counts // MINIBLOCK
+        mini_offsets = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(minis_per_block, out=mini_offsets[1:])
+        mini_block_of = np.repeat(np.arange(n_blocks), minis_per_block)
+        within = np.arange(int(mini_offsets[-1])) - mini_offsets[mini_block_of]
+        bw_word_idx = bstarts[mini_block_of] + 1 + within // 4
+        bits = ((data[bw_word_idx] >> ((within % 4) * 8)) & 0xFF).astype(np.int64)
+        widest = np.maximum.reduceat(bits, mini_offsets[:-1])
+
+        block_max = references + (np.int64(1) << widest) - 1
+        edges = np.arange(0, n_blocks, self.d_blocks(enc), dtype=np.int64)
+        return (
+            np.minimum.reduceat(references, edges),
+            np.maximum.reduceat(block_max, edges),
+        )
+
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)
         vstarts_arr = enc.arrays["values_starts"].astype(np.int64)

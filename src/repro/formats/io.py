@@ -19,22 +19,34 @@ from repro.formats.base import EncodedColumn
 
 #: Archive key holding the JSON metadata.
 _META_KEY = "__repro_meta__"
+#: Prefix for array-valued meta entries (e.g. encode-time zone maps),
+#: which cannot ride in the JSON blob and are stored as archive members.
+_META_ARRAY_PREFIX = "__repro_meta_arr__/"
 #: Format version written into every file.
 FORMAT_VERSION = 1
 
 
 def save_encoded(enc: EncodedColumn, path: str | os.PathLike | io.IOBase) -> None:
     """Write an encoded column to ``path`` (``.npz``)."""
+    json_meta = {}
+    array_meta = {}
+    for key, value in enc.meta.items():
+        if isinstance(value, np.ndarray):
+            array_meta[_META_ARRAY_PREFIX + key] = value
+        else:
+            json_meta[key] = value
     meta = {
         "version": FORMAT_VERSION,
         "codec": enc.codec,
         "count": enc.count,
         "dtype": np.dtype(enc.dtype).str,
-        "meta": enc.meta,
+        "meta": json_meta,
     }
     payload = {name: arr for name, arr in enc.arrays.items()}
-    if _META_KEY in payload:
-        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    for name in (_META_KEY, *array_meta):
+        if name in payload:
+            raise ValueError(f"array name {name!r} is reserved")
+    payload.update(array_meta)
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -51,13 +63,19 @@ def load_encoded(path: str | os.PathLike | io.IOBase) -> EncodedColumn:
             raise ValueError(
                 f"unsupported format version {meta.get('version')!r}"
             )
-        arrays = {
-            name: archive[name] for name in archive.files if name != _META_KEY
-        }
+        arrays = {}
+        restored_meta = dict(meta["meta"])
+        for name in archive.files:
+            if name == _META_KEY:
+                continue
+            if name.startswith(_META_ARRAY_PREFIX):
+                restored_meta[name[len(_META_ARRAY_PREFIX):]] = archive[name]
+            else:
+                arrays[name] = archive[name]
     return EncodedColumn(
         codec=meta["codec"],
         count=int(meta["count"]),
         arrays=arrays,
-        meta=meta["meta"],
+        meta=restored_meta,
         dtype=np.dtype(meta["dtype"]),
     )

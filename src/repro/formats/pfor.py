@@ -180,6 +180,41 @@ class Pfor(ColumnCodec):
         decoded = (out + references[:, None]).reshape(-1)
         return decoded[: enc.count].astype(enc.dtype)
 
+    def bounds_elements(self, enc: EncodedColumn) -> int:
+        """PFOR is not tile-decodable; its pruning unit is one block."""
+        return PFOR_BLOCK
+
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block bounds from headers plus the stored exception values.
+
+        The reference is the exact block minimum; the maximum is bounded
+        by ``2**bits - 1`` for packed slots and by the patch list —
+        whose values sit uncompressed in the block — for exceptions.
+        Reading the patch list is a metadata scan proportional to the
+        exception count, never a full unpack.
+        """
+        starts = enc.arrays["block_starts"].astype(np.int64)
+        data = enc.arrays["data"]
+        n_blocks = starts.size - 1
+        if n_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        references = data[starts[:-1]].view(np.int32).astype(np.int64)
+        meta = data[starts[:-1] + 1].astype(np.int64)
+        bits = meta & 0xFF
+        exc_counts = meta >> 8
+        max_diff = (np.int64(1) << bits) - 1
+        total_exc = int(exc_counts.sum())
+        if total_exc:
+            block_of_exc = np.repeat(np.arange(n_blocks), exc_counts)
+            within = _within_group_index(exc_counts)
+            val_area_start = starts[:-1] + 2 + 4 * bits + -(-exc_counts // 4)
+            exc_vals = data[val_area_start[block_of_exc] + within].astype(np.int64)
+            exc_max = np.zeros(n_blocks, dtype=np.int64)
+            np.maximum.at(exc_max, block_of_exc, exc_vals)
+            max_diff = np.maximum(max_diff, exc_max)
+        return references, references + max_diff
+
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         n = enc.count
         return [

@@ -176,6 +176,23 @@ class GpuSimdBp128(TileCodec):
             out.reshape(-1), np.full(tiles.size, VBLOCK, dtype=np.int64), keep
         ).astype(enc.dtype, copy=False)
 
+    def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-decode bounds from each block's reference + bitwidth pair.
+
+        The single per-block bitwidth makes this the loosest bound of the
+        GPU-* family (one skewed value widens the whole 4096-value
+        block), mirroring its compression downside.
+        """
+        starts = enc.arrays["block_starts"].astype(np.int64)
+        n_blocks = starts.size - 1
+        if n_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        data = enc.arrays["data"]
+        references = data[starts[:-1]].view(np.int32).astype(np.int64)
+        bits = data[starts[:-1] + 1].astype(np.int64)
+        return references, references + (np.int64(1) << bits) - 1
+
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         starts_arr = enc.arrays["block_starts"].astype(np.int64)
         n_blocks = starts_arr.size - 1

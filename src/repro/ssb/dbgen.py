@@ -154,6 +154,30 @@ def generate(scale_factor: float = 0.1, seed: int = 42) -> SSBDatabase:
     return db
 
 
+def sort_lineorder_by(db: SSBDatabase, column: str = "lo_orderdate") -> SSBDatabase:
+    """Return a copy of ``db`` with lineorder rows sorted by one column.
+
+    dbgen draws each order's date independently, so ``lo_orderdate``
+    arrives unclustered and zone-map pruning can skip almost nothing.
+    Real warehouses ingest roughly in date order; this reorders the fact
+    table to that layout (a stable sort, so ties keep generation order).
+    Every lineorder column is permuted together and dimension tables are
+    untouched, hence all SSB aggregates — which are row-order invariant —
+    return bit-identical results on the sorted database.
+    """
+    if column not in db.lineorder:
+        raise KeyError(f"unknown lineorder column {column!r}")
+    order = np.argsort(db.lineorder[column], kind="stable")
+    return SSBDatabase(
+        scale_factor=db.scale_factor,
+        date=db.date,
+        customer=db.customer,
+        supplier=db.supplier,
+        part=db.part,
+        lineorder={name: vals[order] for name, vals in db.lineorder.items()},
+    )
+
+
 def _gen_lineorder(
     db: SSBDatabase, n_orders: int, rng: np.random.Generator
 ) -> dict[str, np.ndarray]:

@@ -1,0 +1,113 @@
+"""Unit tests for the predicate IR (`repro.engine.predicates`).
+
+The load-bearing property is *consistency*: whenever ``row_mask`` keeps
+any row of a tile, ``tile_may_match`` on that tile's exact bounds must
+be True — otherwise pushdown would prune rows the query needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.predicates import (
+    And,
+    ColumnPredicate,
+    Equals,
+    InSet,
+    Range,
+    column_predicates,
+)
+
+
+def _random_predicates(rng):
+    return [
+        Range("c", 10, 500),
+        Range("c", None, 250),
+        Range("c", 100, None),
+        Range("c", None, None),
+        Range("c", 7, 7),
+        Equals("c", 42),
+        Equals("c", -1),
+        InSet("c", (3, 99, 512, 700)),
+        InSet("c", ()),
+        InSet("c", (1000000,)),
+    ]
+
+
+class TestRowMask:
+    def test_range(self):
+        v = np.array([0, 5, 10, 15, 20])
+        assert Range("c", 5, 15).row_mask(v).tolist() == [False, True, True, True, False]
+        assert Range("c", None, 10).row_mask(v).tolist() == [True, True, True, False, False]
+        assert Range("c", 10, None).row_mask(v).tolist() == [False, False, True, True, True]
+        assert Range("c", None, None).row_mask(v).all()
+
+    def test_equals_and_inset(self):
+        v = np.array([1, 2, 3, 2])
+        assert Equals("c", 2).row_mask(v).tolist() == [False, True, False, True]
+        assert InSet("c", (3, 1)).row_mask(v).tolist() == [True, False, True, False]
+        assert not InSet("c", ()).row_mask(v).any()
+
+    def test_inset_normalizes(self):
+        assert InSet("c", (5, 1, 5, 3)).values == (1, 3, 5)
+
+
+class TestTileMayMatch:
+    def test_range_overlap(self):
+        mins = np.array([0, 100, 200])
+        maxs = np.array([99, 199, 299])
+        assert Range("c", 150, 160).tile_may_match(mins, maxs).tolist() == [
+            False, True, False,
+        ]
+        assert Range("c", 99, 100).tile_may_match(mins, maxs).tolist() == [
+            True, True, False,
+        ]
+        assert Range("c", None, None).tile_may_match(mins, maxs).all()
+
+    def test_inset_binary_search(self):
+        mins = np.array([0, 100, 200])
+        maxs = np.array([99, 199, 299])
+        assert InSet("c", (150, 250)).tile_may_match(mins, maxs).tolist() == [
+            False, True, True,
+        ]
+        assert not InSet("c", ()).tile_may_match(mins, maxs).any()
+        # Members exactly on the inclusive bounds count.
+        assert InSet("c", (99,)).tile_may_match(mins, maxs).tolist() == [
+            True, False, False,
+        ]
+
+    def test_consistency_with_row_mask(self, rng):
+        """A tile with any matching row must never be prunable."""
+        for pred in _random_predicates(rng):
+            for _ in range(20):
+                tile = rng.integers(0, 1000, 64)
+                keeps_rows = bool(pred.row_mask(tile).any())
+                may = bool(
+                    pred.tile_may_match(
+                        np.array([tile.min()]), np.array([tile.max()])
+                    )[0]
+                )
+                assert may or not keeps_rows, pred
+
+
+class TestComposition:
+    def test_and_flattens(self):
+        a, b, c = Range("x", 1, 2), Equals("y", 3), InSet("z", (4,))
+        nested = And((a, And((b, c))))
+        assert nested.predicates == (a, b, c)
+
+    def test_column_predicates(self):
+        a, b = Range("x", 1, 2), Equals("y", 3)
+        assert column_predicates(None) == ()
+        assert column_predicates(a) == (a,)
+        assert column_predicates(And((a, b))) == (a, b)
+        with pytest.raises(TypeError):
+            column_predicates("not a predicate")
+
+    def test_base_class_is_abstract(self):
+        pred = ColumnPredicate()
+        with pytest.raises(NotImplementedError):
+            pred.row_mask(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            pred.tile_may_match(np.zeros(1), np.zeros(1))
