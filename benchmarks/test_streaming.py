@@ -1,0 +1,149 @@
+"""Morsel streaming vs materialized execution: wall clock and peak bytes.
+
+Runs SSB queries over an orderdate-sorted ``gpu-star`` fact table through
+the default (column-at-a-time materializing) path and the morsel-parallel
+streaming executor at several worker counts, asserting bit-identical
+answers everywhere, a wall-clock win on the selective flight-1 scans, and
+a much smaller peak decoded-intermediate footprint.  Emits
+``BENCH_streaming.json`` as the perf baseline future PRs compare against.
+
+The headline is q1.3 (one week of dates: pushdown leaves a handful of
+morsels, and the materialized path's column-length decode buffers are
+pure overhead); q2.1 rides along as an unselective counterpoint where
+per-morsel plan-replay overhead shows.
+
+Environment knobs:
+    REPRO_STREAMING_SF      — SSB scale factor (default 0.1)
+    REPRO_STREAMING_REPS    — timing repetitions per mode (default 5)
+    REPRO_STREAMING_WORKERS — comma-separated worker counts (default 1,2,8)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+from repro.engine.crystal import CrystalEngine
+from repro.engine.ssb_queries import QUERIES
+from repro.ssb.dbgen import generate, sort_lineorder_by
+from repro.ssb.loader import load_lineorder
+
+STREAMING_SF = float(os.environ.get("REPRO_STREAMING_SF", "0.1"))
+REPS = int(os.environ.get("REPRO_STREAMING_REPS", "5"))
+WORKERS = tuple(
+    int(w) for w in os.environ.get("REPRO_STREAMING_WORKERS", "1,2,8").split(",")
+)
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+#: Flight-1 scans are the headline candidates; q2.1 is the unselective
+#: counterpoint (reported, not asserted on).
+BENCH_QUERIES = ("q1.3", "q1.2", "q1.1", "q2.1")
+HEADLINE_CANDIDATES = ("q1.3", "q1.2", "q1.1")
+
+
+def _materialized_run(db, store, name):
+    """Best-of-``REPS``: cold decoded data, warm metadata."""
+    engine = CrystalEngine(db, store)
+    query = QUERIES[name]
+    best = None
+    for _ in range(REPS):
+        engine.evict_decoded()
+        t0 = time.perf_counter()
+        result = engine.run(query)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        if best is None or wall_ms < best["wall_ms"]:
+            best = {"wall_ms": wall_ms, "groups": result.groups}
+    # Peak decoded intermediates: every inline column's full int64 image
+    # is live at once (late materialization still allocates column-length
+    # zero-filled buffers for partially-decoded columns).
+    best["peak_bytes"] = sum(
+        store[c].payload.count * 8
+        for c in query.columns
+        if engine.column_inline(c)
+    )
+    return best
+
+
+def _streaming_run(db, store, name, workers):
+    engine = CrystalEngine(db, store, streaming=True, stream_workers=workers)
+    query = QUERIES[name]
+    best = None
+    for _ in range(REPS):
+        engine.evict_decoded()
+        t0 = time.perf_counter()
+        result = engine.run(query)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        if best is None or wall_ms < best["wall_ms"]:
+            best = {"wall_ms": wall_ms, "groups": result.groups}
+    # Arenas only grow, so the last run's gauge is the true peak across
+    # every rep of this engine.
+    best["peak_bytes"] = int(engine.last_stream_stats["peak_decoded_bytes"])
+    best["morsels"] = int(engine.last_stream_stats["morsels"])
+    return best
+
+
+def _bench_streaming():
+    db = sort_lineorder_by(generate(scale_factor=STREAMING_SF, seed=7))
+    store = load_lineorder(db, "gpu-star")
+    per_query = {}
+    for name in BENCH_QUERIES:
+        per_query[name] = {
+            "materialized": _materialized_run(db, store, name),
+            "streaming": {w: _streaming_run(db, store, name, w) for w in WORKERS},
+        }
+    return db, per_query
+
+
+def test_streaming_vs_materialized(benchmark):
+    db, per_query = run_once(benchmark, _bench_streaming)
+
+    summary = {
+        "scale_factor_rows": int(db.num_lineorder_rows),
+        "workers": list(WORKERS),
+        "queries": {},
+    }
+    for name, modes in per_query.items():
+        mat = modes["materialized"]
+        streams = modes["streaming"]
+        # Bit-identical answers at every worker count.
+        for w, s in streams.items():
+            assert s["groups"] == mat["groups"], (name, w)
+        best_wall = min(s["wall_ms"] for s in streams.values())
+        min_peak = min(s["peak_bytes"] for s in streams.values())
+        summary["queries"][name] = {
+            "wall_ms_materialized": mat["wall_ms"],
+            "wall_ms_streaming": {str(w): s["wall_ms"] for w, s in streams.items()},
+            "wall_speedup": mat["wall_ms"] / best_wall,
+            "peak_bytes_materialized": mat["peak_bytes"],
+            "peak_bytes_streaming": {
+                str(w): s["peak_bytes"] for w, s in streams.items()
+            },
+            "peak_ratio": mat["peak_bytes"] / min_peak if min_peak else None,
+            "morsels": {str(w): s["morsels"] for w, s in streams.items()},
+            "identical_results": True,
+        }
+
+    headline_name = max(
+        HEADLINE_CANDIDATES, key=lambda n: summary["queries"][n]["wall_speedup"]
+    )
+    headline = summary["queries"][headline_name]
+    summary["headline_query"] = headline_name
+    summary["headline_speedup"] = headline["wall_speedup"]
+    summary["headline_peak_ratio"] = headline["peak_ratio"]
+
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    lines = [
+        f"{name}: {q['wall_speedup']:.2f}x wall, "
+        f"peak {q['peak_bytes_materialized'] / 1e6:.1f} -> "
+        f"{min(int(v) for v in q['peak_bytes_streaming'].values()) / 1e6:.1f} MB"
+        for name, q in summary["queries"].items()
+    ]
+    print("\nstreaming: " + "; ".join(lines) + f" -> {OUTPUT_PATH.name}")
+
+    # Acceptance: >=1.5x wall clock on at least one flight-1 scan, and
+    # >=4x lower peak decoded intermediates on that same query.
+    assert headline["wall_speedup"] >= 1.5, headline
+    assert headline["peak_ratio"] >= 4.0, headline

@@ -34,6 +34,7 @@ from repro.experiments import (
     related_work,
     sensitivity_gpu,
     serving_workload,
+    streaming_scan,
 )
 
 EXPERIMENTS = {
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "multigpu": (multigpu_scaling, "extension — sharded decompression scaling"),
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),
     "serving": (serving_workload, "extension — serving layer: pool + scheduler under load"),
+    "streaming": (streaming_scan, "extension — morsel streaming vs materialized execution"),
 }
 
 

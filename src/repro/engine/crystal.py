@@ -20,6 +20,7 @@ Three execution styles cover the paper's six systems:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -97,6 +98,9 @@ class CrystalEngine:
         device: GPUDevice | None = None,
         pool: "ColumnPool | None" = None,
         pushdown: bool = True,
+        streaming: bool = False,
+        stream_workers: int = 4,
+        morsel_tiles: int | None = None,
     ):
         self.db = db
         self.store = store
@@ -108,11 +112,34 @@ class CrystalEngine:
         #: Whether :meth:`FactPipeline.filter_pushdown` may skip tiles
         #: from codec bounds; off, queries run the unpruned plan.
         self.pushdown = pushdown
+        #: Route :meth:`run` through the morsel-parallel streaming
+        #: executor (tile-chunk-at-a-time, the paper's fused shape)
+        #: instead of column-at-a-time materialization.  Answers are
+        #: bit-identical either way; only peak memory and wall clock
+        #: differ.  Ignored for staged and decompress-first systems,
+        #: which have no tile-fused plan to stream.
+        self.streaming = streaming
+        #: Worker threads the streaming executor runs morsels on.
+        self.stream_workers = stream_workers
+        #: Engine tiles per morsel (``None`` = executor default).
+        self.morsel_tiles = morsel_tiles
+        #: Optional serving MetricsRegistry receiving per-morsel timings
+        #: and the peak decoded-bytes gauge (set by the QueryServer).
+        self.metrics = None
+        #: Stats dict of the most recent streaming run (see
+        #: ``TileStreamExecutor.last_stats``); empty before any.
+        self.last_stream_stats: dict = {}
+        # Reused across queries so worker threads and per-worker decode
+        # arenas persist: steady-state streaming allocates nothing.
+        self._stream_executor = None
         self.num_rows = db.num_lineorder_rows
         self.num_tiles = -(-self.num_rows // TILE)
         self._tile_bytes_cache: dict[str, np.ndarray] = {}
         self._decoded_cache: dict[str, np.ndarray] = {}
         self._bounds_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # Morsel workers read these caches concurrently; the lock makes
+        # the fill-on-miss paths safe (the dicts only ever grow).
+        self._cache_lock = threading.Lock()
         self._staged = store.system == "omnisci"
         self._last_timeline: list[dict] = []
 
@@ -138,9 +165,13 @@ class CrystalEngine:
         if self.pool is not None:
             return self._pool_decoded(name, col)
         cached = self._decoded_cache.get(name)
-        if cached is None:
-            self._decoded_cache[name] = cached = self._decode_column(col)
-        return cached
+        if cached is not None:
+            return cached
+        values = self._decode_column(col)
+        # setdefault under the lock: two racing workers may both decode,
+        # but every caller then sees the same image.
+        with self._cache_lock:
+            return self._decoded_cache.setdefault(name, values)
 
     def _decode_column(self, col) -> np.ndarray:
         codec = get_codec(col.codec_name)
@@ -258,9 +289,11 @@ class CrystalEngine:
                 pass
             return bounds
         cached = self._bounds_cache.get(name)
-        if cached is None:
-            self._bounds_cache[name] = cached = self._compute_tile_bounds(name)
-        return cached
+        if cached is not None:
+            return cached
+        bounds = self._compute_tile_bounds(name)
+        with self._cache_lock:
+            return self._bounds_cache.setdefault(name, bounds)
 
     def _compute_tile_bounds(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         col = self.store[name]
@@ -320,16 +353,18 @@ class CrystalEngine:
         (only the tiles it needs, under pushdown) but never re-derives
         metadata.
         """
-        self._decoded_cache.clear()
+        with self._cache_lock:
+            self._decoded_cache.clear()
         if self.pool is not None:
             for name in self.store.columns:
                 self.pool.invalidate(f"decoded/{name}")
 
     def invalidate_column(self, name: str) -> None:
         """Drop every cached derivative of a column (it was re-encoded)."""
-        self._decoded_cache.pop(name, None)
-        self._tile_bytes_cache.pop(name, None)
-        self._bounds_cache.pop(name, None)
+        with self._cache_lock:
+            self._decoded_cache.pop(name, None)
+            self._tile_bytes_cache.pop(name, None)
+            self._bounds_cache.pop(name, None)
         if self.pool is not None:
             for prefix in ("decoded/", "tilemeta/", "compressed/", "bounds/"):
                 self.pool.invalidate(prefix + name)
@@ -375,8 +410,8 @@ class CrystalEngine:
         if cached is not None:
             return cached
         per_engine = self._compute_tile_read_bytes(name)
-        self._tile_bytes_cache[name] = per_engine
-        return per_engine
+        with self._cache_lock:
+            return self._tile_bytes_cache.setdefault(name, per_engine)
 
     def _compute_tile_read_bytes(self, name: str) -> np.ndarray:
         col = self.store[name]
@@ -487,12 +522,53 @@ class CrystalEngine:
         self.run(query)
         return self._last_timeline
 
+    def uses_streaming(self) -> bool:
+        """Whether :meth:`run` routes through the streaming executor.
+
+        Staged (OmniSci) plans price per-operator kernels and
+        decompress-first systems already materialized to global memory,
+        so neither has tile-fused work to stream.
+        """
+        return (
+            self.streaming
+            and not self._staged
+            and self.store.system not in DECOMPRESS_FIRST_SYSTEMS
+        )
+
+    def _stream(self, query: "SSBQuery") -> dict[int, int]:
+        """Run one query through the (cached) streaming executor."""
+        from repro.engine.streaming import TileStreamExecutor
+
+        executor = self._stream_executor
+        if executor is not None and (
+            executor.workers != self.stream_workers
+            or (self.morsel_tiles is not None
+                and executor.morsel_tiles != self.morsel_tiles)
+            or executor.metrics is not self.metrics
+        ):
+            executor.close()
+            executor = None
+        if executor is None:
+            executor = TileStreamExecutor(
+                self,
+                workers=self.stream_workers,
+                morsel_tiles=self.morsel_tiles,
+                metrics=self.metrics,
+            )
+            self._stream_executor = executor
+        groups = executor.execute(query)
+        self.last_stream_stats = executor.last_stats
+        return groups
+
     def run(self, query: "SSBQuery") -> QueryResult:
         """Execute one SSB query and report its simulated time."""
         kernels_before = self.device.kernel_count
         ms_before = self.device.elapsed_ms
         self.decompress_first(query.columns)
-        groups = query.fn(self)
+        if self.uses_streaming():
+            groups = self._stream(query)
+        else:
+            groups = query.fn(self)
         kernels = self.device.kernel_count - kernels_before
         self._last_timeline = self.device.timeline()[kernels_before:]
         return QueryResult(
@@ -523,18 +599,28 @@ class FactPipeline:
     a materialized selection bitmap read and written between operators.
     """
 
-    def __init__(self, engine: CrystalEngine, name: str, staged: bool = False):
+    def __init__(
+        self,
+        engine: CrystalEngine,
+        name: str,
+        staged: bool = False,
+        rows: int | None = None,
+        tiles: int | None = None,
+    ):
         self.engine = engine
         self.name = name
         self.staged = staged
-        self.n = engine.num_rows
+        # Default span is the whole fact table; the streaming executor's
+        # morsel pipelines cover one contiguous chunk of it instead.
+        self.n = engine.num_rows if rows is None else rows
+        num_tiles = engine.num_tiles if tiles is None else tiles
         self.mask = np.ones(self.n, dtype=bool)
-        self.tile_active = np.ones(engine.num_tiles, dtype=np.int64).astype(bool)
+        self.tile_active = np.ones(num_tiles, dtype=bool)
         self._finished = False
         # Scratch for per-tile mask reduction: allocated once per pipeline
         # instead of per filter() call.  Rows past ``n`` are padding and
         # stay False forever (only [:n] is ever written).
-        self._pad_scratch = np.zeros(engine.num_tiles * TILE, dtype=bool)
+        self._pad_scratch = np.zeros(num_tiles * TILE, dtype=bool)
         # Fused-kernel accumulators.
         self._read_bytes = 0
         self._write_bytes = 0
@@ -553,12 +639,12 @@ class FactPipeline:
         self._check_open()
         engine = self.engine
         col = engine.store[name]
-        tile_bytes = engine.tile_read_bytes(name)
+        tile_bytes = self._tile_read_bytes(name)
         read = int(tile_bytes[self.tile_active].sum())
         active_rows = int(self.tile_active.sum()) * TILE
         if self.tile_active.size and self.tile_active[-1]:
             # The last tile holds only the tail rows, not a full TILE.
-            active_rows -= engine.num_tiles * TILE - self.n
+            active_rows -= self.tile_active.size * TILE - self.n
         self._cols_loaded += 1
 
         if self.staged:
@@ -604,7 +690,15 @@ class FactPipeline:
         else:
             self._extra_regs += D_PER_THREAD
             self._compute += active_rows  # BlockLoad index arithmetic
-        return engine.column_values_pruned(name, self.tile_active)
+        return self._column_slice(name)
+
+    def _tile_read_bytes(self, name: str) -> np.ndarray:
+        """Per-tile read traffic over this pipeline's span (overridable)."""
+        return self.engine.tile_read_bytes(name)
+
+    def _column_slice(self, name: str) -> np.ndarray:
+        """The decoded values :meth:`load` returns over this span."""
+        return self.engine.column_values_pruned(name, self.tile_active)
 
     def filter_pushdown(self, predicate: "ColumnPredicate | And | None") -> int:
         """Prune tiles from codec bounds before any column is loaded.

@@ -1,0 +1,577 @@
+"""Fused tile-streaming query execution with a morsel-parallel executor.
+
+The paper's central claim (Sections 3 and 7) is that decompression is a
+*device function*: a tile is decoded in shared memory and filtered,
+probed and aggregated inline, so the full column never materializes in
+global memory.  :class:`~repro.engine.crystal.CrystalEngine`'s default
+path models the kernel accounting faithfully but executes host-side the
+opposite way — ``column_values_pruned`` decodes whole columns into
+column-length intermediates before :class:`FactPipeline` filters them.
+
+This module executes the same plans tile-chunk-by-tile-chunk:
+
+1. A **plan pass** runs the query function once against a zero-row proxy
+   pipeline.  It builds (and prices) the dimension lookups exactly once,
+   evaluates predicate pushdown against the full tile grid, and captures
+   the fused kernel's resource footprint (registers, shared memory).
+2. The surviving tiles are partitioned into contiguous **morsels** of
+   ``morsel_tiles`` engine tiles.  Each morsel re-runs the query
+   function against a morsel-scoped pipeline that decodes only its own
+   chunk of each needed column — into a per-worker
+   :class:`~repro.formats.base.DecodeArena` via ``decode_range_into``,
+   so steady state allocates nothing — then filters, probes and
+   accumulates partial aggregates over just those rows.
+3. Partials are merged **in deterministic morsel order** with exact
+   integer arithmetic, so answers are bit-identical to the materialized
+   path at any worker count; one fused fact kernel is then priced from
+   the merged accounting (same launch count as the materialized plan).
+
+Morsels run on a ``ThreadPoolExecutor``: the NumPy kernels doing the
+heavy lifting drop the GIL, so decode and filter work overlaps across
+workers.  Only the coordinator thread ever touches the simulated
+``GPUDevice`` (it is not thread-safe); workers do pure array work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.crystal import (
+    BLOCK_THREADS,
+    TILE,
+    CrystalEngine,
+    FactPipeline,
+    SSBQuery,
+)
+from repro.engine.lookup import Lookup
+from repro.engine.predicates import column_predicates
+from repro.formats.base import DecodeArena, TileCodec
+from repro.formats.registry import get_codec
+
+__all__ = ["DEFAULT_MORSEL_TILES", "TileStreamExecutor"]
+
+#: Engine tiles per morsel: 64 tiles = 32768 rows, a multiple of every
+#: codec tile size (including GPU-SIMDBP128's 4096-value blocks), so
+#: morsel boundaries land on codec tile boundaries and no tile is
+#: decoded twice.
+DEFAULT_MORSEL_TILES = 64
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """One contiguous chunk of the fact table's tile grid."""
+
+    index: int
+    tile_lo: int
+    tile_hi: int
+    row_lo: int
+    row_hi: int
+
+
+class _PlanPipeline(FactPipeline):
+    """Zero-row pipeline for the plan pass.
+
+    Row-level operators see empty arrays (and cost nothing), while
+    pushdown runs against the **full** tile grid — the executor reads the
+    surviving set from :attr:`global_tile_active`.  Resource accounting
+    (registers, shared memory per block, decode register pressure) is
+    row-count independent, so the plan pass captures the fused kernel's
+    footprint exactly.
+    """
+
+    def __init__(self, engine: CrystalEngine, name: str):
+        super().__init__(engine, name, staged=False, rows=0, tiles=0)
+        #: Tiles surviving pushdown over the whole fact table.
+        self.global_tile_active = np.ones(engine.num_tiles, dtype=bool)
+
+    def _tile_read_bytes(self, name: str) -> np.ndarray:
+        # Loads read nothing here: the morsels account the payload reads
+        # over their own surviving tiles.  (Also warms the engine's
+        # per-tile traffic cache so workers only ever read it.)
+        self.engine.tile_read_bytes(name)
+        return np.zeros(0, dtype=np.int64)
+
+    def _column_slice(self, name: str) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
+
+    def filter_pushdown(self, predicate) -> int:
+        self._check_open()
+        preds = column_predicates(predicate)
+        if not self.engine.pushdown or not preds:
+            return 0
+        engine = self.engine
+        before = int(self.global_tile_active.sum())
+        for pred in preds:
+            mins, maxs = engine.column_tile_bounds(pred.column)
+            self.global_tile_active &= pred.tile_may_match(mins, maxs)
+            # Zone-map metadata scan, accounted once for the whole grid
+            # (morsels inherit the surviving set without re-scanning).
+            self._read_bytes += engine.num_tiles * 16
+            self._compute += engine.num_tiles * 2
+        return before - int(self.global_tile_active.sum())
+
+    def finish(self) -> None:
+        # The executor prices one fused kernel from the merged morsel
+        # accounting after the partials are in; nothing launches here.
+        self._check_open()
+        self._finished = True
+
+
+class _MorselPipeline(FactPipeline):
+    """A :class:`FactPipeline` over one morsel's rows.
+
+    Inherits the plan pass's surviving tile set, decodes column chunks
+    into the worker's arena, and records which aggregate ops ran so the
+    executor knows how to merge the partial results.
+    """
+
+    def __init__(self, executor: "TileStreamExecutor", name: str, morsel: Morsel):
+        super().__init__(
+            executor.engine,
+            name,
+            staged=False,
+            rows=morsel.row_hi - morsel.row_lo,
+            tiles=morsel.tile_hi - morsel.tile_lo,
+        )
+        self._executor = executor
+        self._morsel = morsel
+        self.tile_active &= executor.tile_active[morsel.tile_lo : morsel.tile_hi]
+        if not self.tile_active.all():
+            self.mask &= np.repeat(self.tile_active, TILE)[: self.n]
+        #: Aggregate merge ops in call order ("sum", "min" or "max").
+        self.agg_ops: list[str] = []
+
+    def _tile_read_bytes(self, name: str) -> np.ndarray:
+        m = self._morsel
+        return self.engine.tile_read_bytes(name)[m.tile_lo : m.tile_hi]
+
+    def _column_slice(self, name: str) -> np.ndarray:
+        m = self._morsel
+        if self.engine.column_inline(name):
+            return self._executor.decode_slice(name, m, self.tile_active)
+        return self.engine.store[name].values[m.row_lo : m.row_hi]
+
+    def filter_pushdown(self, predicate) -> int:
+        # Bounds were consulted once, globally, in the plan pass; the
+        # morsel already inherited the surviving tile set in __init__.
+        self._check_open()
+        return int(np.count_nonzero(~self.tile_active))
+
+    def finish(self) -> None:
+        # Partial pipelines never launch; the executor prices the one
+        # fused kernel from the merged accounting.
+        self._check_open()
+        self._finished = True
+
+    # -- aggregate-op recording (drives the deterministic merge) ----------
+
+    def group_sum(self, codes, weights, num_groups):
+        self.agg_ops.append("sum")
+        return super().group_sum(codes, weights, num_groups)
+
+    def total_sum(self, values):
+        self.agg_ops.append("sum")
+        return super().total_sum(values)
+
+    def total_sum_product(self, a, b):
+        self.agg_ops.append("sum")
+        return super().total_sum_product(a, b)
+
+    def group_aggregate(self, codes, values, num_groups, how="sum"):
+        if how == "avg":
+            # sum/count partials would merge fine, but the division must
+            # happen after the merge — the per-morsel quotients carry no
+            # remainders to combine.  Run avg queries materialized.
+            raise NotImplementedError(
+                "avg does not decompose into mergeable morsel partials; "
+                "run this query with streaming disabled"
+            )
+        if how in ("min", "max"):
+            self.agg_ops.append(how)
+        # sum/count delegate to group_sum, which records itself.
+        return super().group_aggregate(codes, values, num_groups, how=how)
+
+
+@dataclass
+class _MorselOutcome:
+    """One morsel's partial result plus its pipeline (for accounting)."""
+
+    result: dict[int, int]
+    pipeline: _MorselPipeline
+    wall_ms: float
+
+
+class _PlanEngine:
+    """Engine proxy for the plan pass: real lookups, zero-row pipeline."""
+
+    def __init__(self, engine: CrystalEngine):
+        self._engine = engine
+        self.db = engine.db
+        self.pushdown = engine.pushdown
+        self.lookups: list[tuple[str, str, Lookup]] = []
+        self.pipeline_obj: _PlanPipeline | None = None
+
+    def build_lookup(self, table_name, key_col, **kwargs) -> Lookup:
+        lookup = self._engine.build_lookup(table_name, key_col, **kwargs)
+        self.lookups.append((table_name, key_col, lookup))
+        return lookup
+
+    def replay_lookup(self, i: int, table_name: str, key_col: str) -> Lookup:
+        if i >= len(self.lookups) or self.lookups[i][:2] != (table_name, key_col):
+            raise RuntimeError(
+                f"morsel replay diverged from the plan pass at lookup #{i} "
+                f"({table_name}.{key_col}); streaming requires the query "
+                f"function to be deterministic"
+            )
+        return self.lookups[i][2]
+
+    def pipeline(self, name: str) -> _PlanPipeline:
+        if self.pipeline_obj is not None:
+            raise RuntimeError("streaming supports one pipeline per query")
+        self.pipeline_obj = _PlanPipeline(self._engine, name)
+        return self.pipeline_obj
+
+
+class _MorselEngine:
+    """Engine proxy a morsel re-runs the query function against.
+
+    Lookups are replayed from the plan pass (built and priced exactly
+    once, read-only thereafter); the pipeline is morsel-scoped.
+    """
+
+    def __init__(self, executor: "TileStreamExecutor", plan: _PlanEngine, morsel: Morsel):
+        self._executor = executor
+        self._plan = plan
+        self._morsel = morsel
+        self._lookup_cursor = 0
+        self.db = executor.engine.db
+        self.pushdown = executor.engine.pushdown
+        self.pipeline_obj: _MorselPipeline | None = None
+
+    def build_lookup(self, table_name, key_col, **kwargs) -> Lookup:
+        lookup = self._plan.replay_lookup(self._lookup_cursor, table_name, key_col)
+        self._lookup_cursor += 1
+        return lookup
+
+    def pipeline(self, name: str) -> _MorselPipeline:
+        if self.pipeline_obj is not None:
+            raise RuntimeError("streaming supports one pipeline per query")
+        self.pipeline_obj = _MorselPipeline(self._executor, name, self._morsel)
+        return self.pipeline_obj
+
+
+def _mask_runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` runs of True in a boolean mask."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate([idx[:1], idx[breaks + 1]])
+    ends = np.concatenate([idx[breaks], idx[-1:]]) + 1
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+class TileStreamExecutor:
+    """Runs one query's plan morsel-by-morsel over the surviving tiles."""
+
+    def __init__(
+        self,
+        engine: CrystalEngine,
+        workers: int = 4,
+        morsel_tiles: int | None = None,
+        metrics=None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        morsel_tiles = DEFAULT_MORSEL_TILES if morsel_tiles is None else morsel_tiles
+        if morsel_tiles < 1:
+            raise ValueError(f"morsel_tiles must be >= 1, got {morsel_tiles}")
+        self.engine = engine
+        self.workers = workers
+        self.morsel_tiles = morsel_tiles
+        self.metrics = metrics
+        #: Surviving tile grid of the most recent execute() (plan pass).
+        self.tile_active = np.ones(0, dtype=bool)
+        #: Stats of the most recent execute() call.
+        self.last_stats: dict = {}
+        self._tls = threading.local()
+        self._arena_lock = threading.Lock()
+        self._arenas: list[DecodeArena] = []
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- worker-side decode -------------------------------------------------
+
+    def _arena(self) -> DecodeArena:
+        arena = getattr(self._tls, "arena", None)
+        if arena is None:
+            arena = DecodeArena()
+            self._tls.arena = arena
+            with self._arena_lock:
+                self._arenas.append(arena)
+        return arena
+
+    @property
+    def peak_decoded_bytes(self) -> int:
+        """Bytes held across every worker's arena (buffers only grow, so
+        this is also the peak decoded-intermediate footprint)."""
+        with self._arena_lock:
+            return sum(a.resident_bytes for a in self._arenas)
+
+    def decode_slice(
+        self, name: str, morsel: Morsel, tile_active: np.ndarray
+    ) -> np.ndarray:
+        """Decode one column's chunk for a morsel into the worker's arena.
+
+        Covers the codec tiles overlapping ``[row_lo, row_hi)``; codec
+        tiles whose engine tiles were all pruned stay zero-filled (their
+        rows are dead in the morsel's mask by construction).  Returns a
+        view of exactly the morsel's rows.
+        """
+        col = self.engine.store[name]
+        codec = get_codec(col.codec_name)
+        assert isinstance(codec, TileCodec)
+        enc = col.payload
+        elems = codec.tile_elements(enc)
+        r0, r1 = morsel.row_lo, morsel.row_hi
+        c0 = r0 // elems
+        c1 = min(-(-r1 // elems), codec.num_tiles(enc))
+        arena = self._arena()
+        cap = (c1 - c0) * elems
+        buf = arena.scratch(name, cap)
+        view = buf[:cap]
+        active = self._codec_tile_activity(tile_active, elems, c0, c1, morsel.tile_lo)
+        if active.all():
+            codec.decode_range_into(enc, c0, c1, view)
+        else:
+            view[:] = 0
+            for lo, hi in _mask_runs(active):
+                # Chunks before the column's final tile are always full,
+                # so each run's values land exactly at its tile offset.
+                codec.decode_tiles_into(
+                    enc, np.arange(c0 + lo, c0 + hi), view[lo * elems :]
+                )
+        return buf[r0 - c0 * elems : r0 - c0 * elems + (r1 - r0)]
+
+    def _codec_tile_activity(
+        self,
+        tile_active: np.ndarray,
+        elems: int,
+        c0: int,
+        c1: int,
+        tile_lo: int,
+    ) -> np.ndarray:
+        """Morsel-local engine-tile activity mapped onto codec tiles [c0, c1)."""
+        n_local = c1 - c0
+        if elems == TILE:
+            out = np.zeros(n_local, dtype=bool)
+            n = min(n_local, tile_active.size)
+            out[:n] = tile_active[:n]
+            return out
+        if TILE % elems == 0:
+            factor = TILE // elems
+            return np.repeat(tile_active, factor)[:n_local]
+        if elems % TILE == 0:
+            # A codec tile spans several engine tiles and may start
+            # before the morsel; pad to the codec grid and reduce.
+            factor = elems // TILE
+            padded = np.zeros(n_local * factor, dtype=bool)
+            off = tile_lo - c0 * factor
+            padded[off : off + tile_active.size] = tile_active
+            return padded.reshape(n_local, factor).any(axis=1)
+        raise ValueError(
+            f"codec tile of {elems} rows does not divide the engine tile of {TILE}"
+        )
+
+    # -- orchestration ------------------------------------------------------
+
+    def _partition(self, tile_active: np.ndarray) -> list[Morsel]:
+        """Contiguous fixed-width morsels; fully-pruned windows are skipped
+        wholesale (the streaming counterpart of tile skipping)."""
+        engine = self.engine
+        morsels: list[Morsel] = []
+        for tile_lo in range(0, engine.num_tiles, self.morsel_tiles):
+            tile_hi = min(tile_lo + self.morsel_tiles, engine.num_tiles)
+            if not tile_active[tile_lo:tile_hi].any():
+                continue
+            morsels.append(
+                Morsel(
+                    index=len(morsels),
+                    tile_lo=tile_lo,
+                    tile_hi=tile_hi,
+                    row_lo=tile_lo * TILE,
+                    row_hi=min(tile_hi * TILE, engine.num_rows),
+                )
+            )
+        return morsels
+
+    def _run_morsel(
+        self, query: SSBQuery, plan: _PlanEngine, morsel: Morsel
+    ) -> _MorselOutcome:
+        t0 = time.perf_counter()
+        mengine = _MorselEngine(self, plan, morsel)
+        result = query.fn(mengine)
+        if mengine.pipeline_obj is None or not mengine.pipeline_obj._finished:
+            raise RuntimeError(
+                f"query {query.name} did not finish a pipeline in its morsel run"
+            )
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        return _MorselOutcome(result, mengine.pipeline_obj, wall_ms)
+
+    def execute(self, query: SSBQuery) -> dict[int, int]:
+        """Run ``query`` morsel-parallel; returns the merged aggregates."""
+        engine = self.engine
+        plan = _PlanEngine(engine)
+        plan_result = query.fn(plan)
+        ppipe = plan.pipeline_obj
+        if ppipe is None or not ppipe._finished:
+            raise RuntimeError(
+                f"query {query.name} did not run a FactPipeline plan; "
+                f"streaming needs a pipeline-based query function"
+            )
+        self.tile_active = ppipe.global_tile_active
+        # Warm the shared metadata caches from the coordinator so morsel
+        # workers only ever read them (bounds were warmed by pushdown).
+        for name in query.columns:
+            engine.tile_read_bytes(name)
+
+        morsels = self._partition(self.tile_active)
+        t0 = time.perf_counter()
+        outcomes: list[_MorselOutcome] = [None] * len(morsels)  # type: ignore[list-item]
+        if self.workers == 1 or len(morsels) <= 1:
+            for m in morsels:
+                outcomes[m.index] = self._run_morsel(query, plan, m)
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                (m, pool.submit(self._run_morsel, query, plan, m)) for m in morsels
+            ]
+            for m, fut in futures:
+                outcomes[m.index] = fut.result()
+        exec_ms = (time.perf_counter() - t0) * 1e3
+
+        merged = self._merge(plan_result, outcomes)
+        self._price_fused_kernel(query, ppipe, [o.pipeline for o in outcomes])
+
+        peak = self.peak_decoded_bytes
+        self.last_stats = {
+            "query": query.name,
+            "workers": self.workers,
+            "morsel_tiles": self.morsel_tiles,
+            "tiles_total": int(engine.num_tiles),
+            "tiles_active": int(np.count_nonzero(self.tile_active)),
+            "morsels": len(morsels),
+            "morsel_ms": [o.wall_ms for o in outcomes],
+            "execute_ms": exec_ms,
+            "peak_decoded_bytes": int(peak),
+        }
+        if self.metrics is not None:
+            self.metrics.inc("streaming_queries")
+            self.metrics.inc("streaming_morsels", len(morsels))
+            for o in outcomes:
+                self.metrics.observe("streaming_morsel_ms", o.wall_ms)
+            self.metrics.gauge_max("streaming_peak_decoded_bytes", int(peak))
+        return merged
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="morsel"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a fresh one is created
+        lazily if the executor is used again)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- merge + pricing ----------------------------------------------------
+
+    @staticmethod
+    def _merge(
+        plan_result: dict[int, int], outcomes: list[_MorselOutcome]
+    ) -> dict[int, int]:
+        """Merge partials in morsel order with exact integer arithmetic.
+
+        The plan pass's zero-row result seeds the merge: it is the
+        aggregate's identity ({0: 0} for total sums, {} for grouped), so
+        the empty-after-pushdown case falls out for free.  Sums combine
+        as Python ints (arbitrary precision — no float re-rounding), so
+        the result is independent of worker count and bit-identical to
+        the materialized single-pass answer.
+        """
+        ops = {op for o in outcomes for op in o.pipeline.agg_ops}
+        if not ops:
+            return dict(plan_result)
+        if len(ops) > 1:
+            raise RuntimeError(f"cannot merge mixed aggregate ops {sorted(ops)}")
+        op = ops.pop()
+        merged = {int(k): int(v) for k, v in plan_result.items()}
+        for o in outcomes:
+            for code, val in o.result.items():
+                code, val = int(code), int(val)
+                if op == "sum":
+                    merged[code] = merged.get(code, 0) + val
+                elif op == "min":
+                    merged[code] = min(merged.get(code, val), val)
+                else:  # max
+                    merged[code] = max(merged.get(code, val), val)
+        return merged
+
+    def _price_fused_kernel(
+        self,
+        query: SSBQuery,
+        ppipe: _PlanPipeline,
+        pipelines: list[_MorselPipeline],
+    ) -> None:
+        """Price the one fused fact kernel from the merged accounting.
+
+        Resource footprint (registers, shared memory per block) comes
+        from the plan pipeline — it is row-count independent and matches
+        the materialized kernel exactly.  Traffic and compute sum the
+        morsels' contributions; per-call gathers merge by call index
+        (every morsel runs the same call sequence, so the lists align).
+        """
+        engine = self.engine
+        read = ppipe._read_bytes + sum(p._read_bytes for p in pipelines)
+        write = ppipe._write_bytes
+        compute = ppipe._compute + sum(p._compute for p in pipelines)
+        shared = ppipe._shared + sum(p._shared for p in pipelines)
+        live = sum(p.live_count for p in pipelines)
+        if pipelines and all(
+            len(p._gathers) == len(pipelines[0]._gathers) for p in pipelines
+        ):
+            gathers = [
+                (
+                    sum(p._gathers[i][0] for p in pipelines),
+                    pipelines[0]._gathers[i][1],
+                    pipelines[0]._gathers[i][2],
+                )
+                for i in range(len(pipelines[0]._gathers))
+            ]
+        elif pipelines:  # defensive: divergent call sequences concatenate
+            gathers = [g for p in pipelines for g in p._gathers]
+        else:
+            gathers = list(ppipe._gathers)
+        regs = 14 + ppipe._extra_regs + ppipe._decode_regs
+        with engine.device.launch(
+            f"fact-{ppipe.name}",
+            grid_blocks=max(1, engine.num_tiles),
+            block_threads=BLOCK_THREADS,
+            registers_per_thread=regs,
+            shared_mem_per_block=ppipe._smem,
+        ) as k:
+            if read:
+                k.traffic.read_bytes += read  # already transaction-aligned
+            if write:
+                k.write_linear(write)
+            for count, eb, region in gathers:
+                k.read_gather(count, eb, region)
+            k.compute(compute + engine.num_tiles * 600)
+            k.shared(shared + live * 4)

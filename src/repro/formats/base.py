@@ -199,6 +199,83 @@ def ragged_arange(counts: np.ndarray) -> np.ndarray:
     return np.arange(total) - np.repeat(offsets, counts)
 
 
+def require_out_buffer(out: np.ndarray, needed: int) -> None:
+    """Validate a caller-provided decode scratch buffer.
+
+    Out-buffer decode (:meth:`TileCodec.decode_tiles_into`) writes int64
+    values — the engine's working dtype — directly into caller memory, so
+    the buffer must be a 1-D contiguous int64 array with room for the
+    whole *padded* batch (``n_tiles * tile_elements``), not just the
+    logical values.
+    """
+    if not isinstance(out, np.ndarray) or out.dtype != np.int64 or out.ndim != 1:
+        raise ValueError("out buffer must be a 1-D int64 ndarray")
+    if not out.flags.c_contiguous:
+        raise ValueError("out buffer must be C-contiguous")
+    if out.size < needed:
+        raise ValueError(
+            f"out buffer holds {out.size} elements, need {needed}"
+        )
+
+
+def compact_tile_chunks_inplace(
+    out: np.ndarray, chunk_lens: np.ndarray, keep_lens: np.ndarray
+) -> int:
+    """In-place counterpart of :func:`trim_tile_chunks` for out-buffer decode.
+
+    ``out[:sum(chunk_lens)]`` holds concatenated block-padded tile chunks;
+    on return ``out[:kept]`` holds each tile's first ``keep_lens[i]``
+    elements, where ``kept`` (the return value) is ``sum(keep_lens)``.
+    The common cases are free: full chunks need nothing, and when only the
+    *final* chunk is padded (any contiguous tile range — only the column's
+    last tile is ever short) the logical values are already a prefix.
+    """
+    chunk_lens = np.asarray(chunk_lens, dtype=np.int64)
+    keep_lens = np.asarray(keep_lens, dtype=np.int64)
+    total = int(chunk_lens.sum())
+    kept = int(keep_lens.sum())
+    if kept == total:
+        return kept
+    if np.array_equal(chunk_lens[:-1], keep_lens[:-1]):
+        return kept  # padding only in the tail chunk: values are a prefix
+    within = ragged_arange(chunk_lens)
+    mask = within < np.repeat(keep_lens, chunk_lens)
+    out[:kept] = out[:total][mask]
+    return kept
+
+
+class DecodeArena:
+    """Reusable int64 decode scratch — one buffer per column slot.
+
+    The allocation-free decode path's backing store: a morsel worker asks
+    for ``scratch(column, capacity)`` and gets the same buffer back on
+    every subsequent morsel (grown monotonically to the largest request),
+    so steady-state streaming decodes allocate nothing.  One arena serves
+    one worker thread; arenas are never shared across threads.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def scratch(self, key: str, elements: int) -> np.ndarray:
+        """A reusable int64 buffer of at least ``elements`` for ``key``."""
+        if elements < 0:
+            raise ValueError(f"elements must be non-negative, got {elements}")
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < elements:
+            buf = np.empty(max(elements, 1), dtype=np.int64)
+            self._buffers[key] = buf
+        return buf
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held across every scratch buffer."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
 def trim_tile_chunks(
     values: np.ndarray, chunk_lens: np.ndarray, keep_lens: np.ndarray
 ) -> np.ndarray:
@@ -331,6 +408,54 @@ class TileCodec(ColumnCodec):
                 f"column with {n_tiles} tiles"
             )
         return self.decode_tiles(enc, np.arange(first_tile, last_tile))
+
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        """Decode a batch of tiles into a caller-provided scratch buffer.
+
+        The allocation-free counterpart of :meth:`decode_tiles`, built for
+        the streaming executor's per-worker :class:`DecodeArena`: values
+        land in ``out`` (always as ``int64``, the engine's working dtype)
+        and the codec allocates no output of its own.  ``out`` must be a
+        1-D contiguous int64 buffer with capacity for the *padded* batch,
+        ``tile_indices.size * tile_elements(enc)`` — vectorized decoders
+        write whole block-padded tiles before compacting in place.
+
+        Args:
+            enc: the compressed column.
+            tile_indices: tile numbers to decode, each in ``[0, num_tiles)``.
+            out: scratch buffer (see :func:`require_out_buffer`).
+
+        Returns:
+            Number of logical values written; ``out[:written]`` holds the
+            tiles' values concatenated in the order given.
+        """
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        require_out_buffer(out, tiles.size * self.tile_elements(enc))
+        if tiles.size == 0:
+            return 0
+        values = self.decode_tiles(enc, tiles)
+        out[: values.size] = values
+        return int(values.size)
+
+    def decode_range_into(
+        self, enc: EncodedColumn, first_tile: int, last_tile: int, out: np.ndarray
+    ) -> int:
+        """Decode tiles ``[first_tile, last_tile)`` into ``out``.
+
+        Range counterpart of :meth:`decode_tiles_into`, with the same
+        buffer contract; returns the number of values written.
+        """
+        n_tiles = self.num_tiles(enc)
+        if not 0 <= first_tile <= last_tile <= n_tiles:
+            raise IndexError(
+                f"tile range [{first_tile}, {last_tile}) out of range for "
+                f"column with {n_tiles} tiles"
+            )
+        return self.decode_tiles_into(
+            enc, np.arange(first_tile, last_tile), out
+        )
 
     def bounds_elements(self, enc: EncodedColumn) -> int:
         """Bounds granularity: one entry per decode tile."""

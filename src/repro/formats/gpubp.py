@@ -21,8 +21,10 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    compact_tile_chunks_inplace,
     exact_tile_bounds,
     ragged_arange,
+    require_out_buffer,
     trim_tile_chunks,
 )
 from repro.formats.gpufor import BLOCK, bit_length
@@ -140,6 +142,22 @@ class GpuBp(TileCodec):
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
         return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
 
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * BLOCK)
+        if tiles.size == 0:
+            return 0
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        self._decode_block_indices(enc, blocks, out=out)
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        return compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)
         starts_arr = enc.arrays["block_starts"].astype(np.int64)
@@ -175,8 +193,17 @@ class GpuBp(TileCodec):
             return np.zeros(0, dtype=np.int64)
         return self._decode_block_indices(enc, np.arange(first, last))
 
-    def _decode_block_indices(self, enc: EncodedColumn, blocks: np.ndarray) -> np.ndarray:
-        """Decode an arbitrary batch of blocks in one pass per bitwidth."""
+    def _decode_block_indices(
+        self,
+        enc: EncodedColumn,
+        blocks: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decode an arbitrary batch of blocks in one pass per bitwidth.
+
+        ``out`` optionally supplies a 1-D int64 scratch of at least
+        ``blocks.size * 128`` elements; the result is then a view into it.
+        """
         blocks = np.asarray(blocks, dtype=np.int64)
         n = blocks.size
         if n == 0:
@@ -184,15 +211,19 @@ class GpuBp(TileCodec):
         bstarts = enc.arrays["block_starts"].astype(np.int64)[blocks]
         data = enc.arrays["data"]
         bits = data[bstarts].astype(np.int64)
-        out = np.empty((n, BLOCK), dtype=np.int64)
+        if out is None:
+            decoded = np.empty((n, BLOCK), dtype=np.int64)
+        else:
+            require_out_buffer(out, n * BLOCK)
+            decoded = out[: n * BLOCK].reshape(n, BLOCK)
         for b in np.unique(bits):
             sel = np.flatnonzero(bits == b)
             if b == 0:
-                out[sel] = 0
+                decoded[sel] = 0
                 continue
             words_per = int(b) * BLOCK // 32
             src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per)
             words = data[src.reshape(-1)]
             vals = bitio.unpack_bits(words, sel.size * BLOCK, int(b))
-            out[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)
-        return out.reshape(-1)
+            decoded[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)
+        return decoded.reshape(-1)

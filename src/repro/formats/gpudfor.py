@@ -26,6 +26,8 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    compact_tile_chunks_inplace,
+    require_out_buffer,
     trim_tile_chunks,
 )
 from repro.formats.gpufor import (
@@ -173,6 +175,28 @@ class GpuDFor(TileCodec):
         return trim_tile_chunks(
             values.reshape(-1), np.full(tiles.size, tile, dtype=np.int64), keep
         ).astype(enc.dtype, copy=False)
+
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        tile = d * BLOCK
+        require_out_buffer(out, tiles.size * tile)
+        if tiles.size == 0:
+            return 0
+        blocks = (tiles[:, None] * d + np.arange(d)).reshape(-1)
+        deltas = unpack_block_indices(
+            enc.arrays["data"], enc.arrays["block_starts"], blocks, out=out
+        ).reshape(tiles.size, tile)
+        # The in-place pipeline: deltas -> inclusive scan -> + first value,
+        # all inside the caller's scratch.
+        np.cumsum(deltas, axis=1, out=deltas)
+        deltas += enc.arrays["first_values"].astype(np.int64)[tiles, None]
+        keep = np.minimum((tiles + 1) * tile, enc.count) - tiles * tile
+        return compact_tile_chunks_inplace(
+            out, np.full(tiles.size, tile, dtype=np.int64), keep
+        )
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds by bounding the tile's delta prefix sums.

@@ -29,7 +29,9 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    compact_tile_chunks_inplace,
     ragged_arange,
+    require_out_buffer,
     trim_tile_chunks,
 )
 
@@ -185,6 +187,7 @@ def unpack_block_indices(
     block_starts: np.ndarray,
     blocks: np.ndarray,
     add_reference: bool = True,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Decode an arbitrary batch of blocks packed by :func:`pack_blocks`.
 
@@ -198,9 +201,13 @@ def unpack_block_indices(
         add_reference: when False, return the raw packed diffs (used by
             the cascading baseline, which adds references in a later
             kernel pass).
+        out: optional 1-D int64 scratch of at least ``blocks.size * 128``
+            elements; decoded values land in its prefix (the
+            allocation-free path behind ``decode_tiles_into``).
 
     Returns:
-        int64 array of ``blocks.size * 128`` values.
+        int64 array of ``blocks.size * 128`` values (a view into ``out``
+        when one is given).
     """
     blocks = np.asarray(blocks, dtype=np.int64)
     n = blocks.size
@@ -219,20 +226,24 @@ def unpack_block_indices(
     )
     mini_offsets = bstarts[:, None] + BLOCK_HEADER_WORDS + mini_words
 
-    out = np.empty((n * MINIBLOCKS_PER_BLOCK, MINIBLOCK), dtype=np.int64)
+    if out is None:
+        minis = np.empty((n * MINIBLOCKS_PER_BLOCK, MINIBLOCK), dtype=np.int64)
+    else:
+        require_out_buffer(out, n * BLOCK)
+        minis = out[: n * BLOCK].reshape(n * MINIBLOCKS_PER_BLOCK, MINIBLOCK)
     flat_bits = bits.reshape(-1)
     flat_offsets = mini_offsets.reshape(-1)
     for b in np.unique(flat_bits):
         sel = np.flatnonzero(flat_bits == b)
         if b == 0:
-            out[sel] = 0
+            minis[sel] = 0
             continue
         src = flat_offsets[sel][:, None] + np.arange(int(b))
         words = data[src.reshape(-1)]
         vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
-        out[sel] = vals.reshape(sel.size, MINIBLOCK)
+        minis[sel] = vals.reshape(sel.size, MINIBLOCK)
 
-    decoded = out.reshape(n, BLOCK)
+    decoded = minis.reshape(n, BLOCK)
     if add_reference:
         decoded += references[:, None]
     return decoded.reshape(-1)
@@ -337,6 +348,24 @@ class GpuFor(TileCodec):
         vals = unpack_block_indices(enc.arrays["data"], enc.arrays["block_starts"], blocks)
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
         return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
+
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * BLOCK)
+        if tiles.size == 0:
+            return 0
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        unpack_block_indices(
+            enc.arrays["data"], enc.arrays["block_starts"], blocks, out=out
+        )
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        return compact_tile_chunks_inplace(out, nb * BLOCK, keep)
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from the block headers.

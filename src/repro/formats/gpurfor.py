@@ -25,6 +25,7 @@ from repro.formats.base import (
     KernelResources,
     TileCodec,
     ragged_arange,
+    require_out_buffer,
     trim_tile_chunks,
 )
 from repro.formats.ragged import (
@@ -238,6 +239,23 @@ class GpuRFor(TileCodec):
             - tiles * d * RFOR_BLOCK
         )
         return trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep).astype(enc.dtype, copy=False)
+
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        # RLE expansion's np.repeat has no out-parameter, so the run
+        # streams and the expanded runs stay transient; only the trimmed
+        # logical values are copied into the caller's scratch.  The
+        # transients are run-sized (tiny for run-heavy columns), so the
+        # arena still bounds the dominant decoded footprint.
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * RFOR_BLOCK)
+        if tiles.size == 0:
+            return 0
+        values = self.decode_tiles(enc, tiles)
+        out[: values.size] = values
+        return int(values.size)
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from the run-values stream's metadata.

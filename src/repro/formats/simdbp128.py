@@ -23,6 +23,8 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    compact_tile_chunks_inplace,
+    require_out_buffer,
     trim_tile_chunks,
 )
 from repro.formats.gpufor import bit_length
@@ -175,6 +177,42 @@ class GpuSimdBp128(TileCodec):
         return trim_tile_chunks(
             out.reshape(-1), np.full(tiles.size, VBLOCK, dtype=np.int64), keep
         ).astype(enc.dtype, copy=False)
+
+    def decode_tiles_into(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
+    ) -> int:
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        require_out_buffer(out, tiles.size * VBLOCK)
+        if tiles.size == 0:
+            return 0
+        data = enc.arrays["data"]
+        bstarts = enc.arrays["block_starts"].astype(np.int64)[tiles]
+        references = data[bstarts].view(np.int32).astype(np.int64)
+        bits = data[bstarts + 1].astype(np.int64)
+        per_lane = VBLOCK // LANES
+
+        decoded = out[: tiles.size * VBLOCK].reshape(tiles.size, VBLOCK)
+        for b in np.unique(bits):
+            sel = np.flatnonzero(bits == b)
+            if b == 0:
+                decoded[sel] = 0
+                continue
+            words_per_block = int(b) * VBLOCK // 32
+            words_per_lane = words_per_block // LANES
+            src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per_block)
+            words = data[src.reshape(-1)].reshape(sel.size, words_per_lane, LANES)
+            lane_stream = np.ascontiguousarray(words.transpose(0, 2, 1)).reshape(-1)
+            vals = bitio.unpack_bits(lane_stream, sel.size * VBLOCK, int(b))
+            decoded[sel] = (
+                vals.reshape(sel.size, LANES, per_lane)
+                .transpose(0, 2, 1)
+                .reshape(sel.size, VBLOCK)
+            )
+        decoded += references[:, None]
+        keep = np.minimum((tiles + 1) * VBLOCK, enc.count) - tiles * VBLOCK
+        return compact_tile_chunks_inplace(
+            out, np.full(tiles.size, VBLOCK, dtype=np.int64), keep
+        )
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from each block's reference + bitwidth pair.

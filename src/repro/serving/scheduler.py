@@ -129,6 +129,9 @@ class QueryServer:
         batch_window: int = 8,
         default_timeout_ms: float | None = None,
         metrics: MetricsRegistry | None = None,
+        streaming: bool = False,
+        stream_workers: int = 4,
+        morsel_tiles: int | None = None,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -145,7 +148,18 @@ class QueryServer:
             )
         self.pool = pool
         self.store = store
-        self.engine = CrystalEngine(db, store, self.device, pool=pool)
+        self.engine = CrystalEngine(
+            db,
+            store,
+            self.device,
+            pool=pool,
+            streaming=streaming,
+            stream_workers=stream_workers,
+            morsel_tiles=morsel_tiles,
+        )
+        # Morsel timings and the peak decoded-bytes gauge land next to
+        # the serving latency series.
+        self.engine.metrics = self.metrics
         self.max_queue = max_queue
         self.batch_window = batch_window
         self.default_timeout_ms = default_timeout_ms

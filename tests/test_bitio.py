@@ -71,6 +71,18 @@ class TestPackUnpack:
             out = bitio.unpack_bits(bitio.pack_bits(values, b), 100, b)
             assert np.array_equal(out, values.astype(np.uint32))
 
+    def test_phase_unaligned_counts(self, rng):
+        # The phase-sliced packer writes values whose phase pattern
+        # repeats every 32/gcd(bits, 32) values; counts that are not a
+        # multiple of the period exercise its ragged final columns and
+        # the cross-word spill fold at every width.
+        for b in range(1, 33):
+            period = 32 // np.gcd(b, 32)
+            for n in (period - 1, period + 1, 3 * period + max(1, period // 2)):
+                values = rng.integers(0, 2**b, max(n, 1), dtype=np.uint64)
+                out = bitio.unpack_bits(bitio.pack_bits(values, b), values.size, b)
+                assert np.array_equal(out, values.astype(np.uint32)), (b, n)
+
     def test_zero_bits(self):
         assert bitio.pack_bits(np.zeros(10, np.uint64), 0).size == 0
         assert np.array_equal(bitio.unpack_bits(np.zeros(0, np.uint32), 10, 0), np.zeros(10))
