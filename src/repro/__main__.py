@@ -17,6 +17,7 @@ from repro.experiments import (
     ablation_miniblocks,
     ablation_vertical,
     compression_speed,
+    fault_injection,
     fig5_blocks_per_tb,
     fig7_bitwidths,
     fig8_distributions,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),
     "serving": (serving_workload, "extension — serving layer: pool + scheduler under load"),
     "streaming": (streaming_scan, "extension — morsel streaming vs materialized execution"),
+    "faults": (fault_injection, "extension — corruption matrix + fault-injected serving"),
 }
 
 

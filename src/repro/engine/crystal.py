@@ -29,7 +29,14 @@ import numpy as np
 from repro.core.nvcomp import decompress_nvcomp
 from repro.core.planner import decompress_planned
 from repro.core.tile_decompress import decompress
-from repro.formats.base import TileCodec, exact_tile_bounds, ragged_arange
+from repro.formats.base import (
+    EncodedColumn,
+    TileCodec,
+    corruption_guard,
+    crc32_values,
+    exact_tile_bounds,
+    ragged_arange,
+)
 from repro.formats.registry import get_codec
 from repro.gpusim.executor import GPUDevice
 from repro.gpusim.memory import linear_bytes
@@ -126,6 +133,15 @@ class CrystalEngine:
         #: Optional serving MetricsRegistry receiving per-morsel timings
         #: and the peak decoded-bytes gauge (set by the QueryServer).
         self.metrics = None
+        #: Optional fault-injection hook, called with the column name
+        #: before every source decode; used by the robustness tests to
+        #: simulate transient decode failures (see serving.faults).
+        self.fault_hook = None
+        #: When True, every cached decoded image served from the pool or
+        #: the engine cache is re-verified against the encoded column's
+        #: whole-column CRC; on mismatch the stale image is dropped and
+        #: the column re-decoded from its compressed source.
+        self.verify_cached = False
         #: Stats dict of the most recent streaming run (see
         #: ``TileStreamExecutor.last_stats``); empty before any.
         self.last_stream_stats: dict = {}
@@ -166,7 +182,10 @@ class CrystalEngine:
             return self._pool_decoded(name, col)
         cached = self._decoded_cache.get(name)
         if cached is not None:
-            return cached
+            if self._cached_image_ok(col, cached):
+                return cached
+            with self._cache_lock:
+                self._decoded_cache.pop(name, None)
         values = self._decode_column(col)
         # setdefault under the lock: two racing workers may both decode,
         # but every caller then sees the same image.
@@ -174,10 +193,32 @@ class CrystalEngine:
             return self._decoded_cache.setdefault(name, values)
 
     def _decode_column(self, col) -> np.ndarray:
+        if self.fault_hook is not None:
+            self.fault_hook(col.name)
         codec = get_codec(col.codec_name)
         assert isinstance(codec, TileCodec)
         enc = col.payload
-        return codec.decode_range(enc, 0, codec.num_tiles(enc))
+        with corruption_guard(col.name):
+            return codec.decode_range(enc, 0, codec.num_tiles(enc))
+
+    def _cached_image_ok(self, col, values: np.ndarray) -> bool:
+        """Whether a cached decoded image still matches its source CRC.
+
+        Only consulted when :attr:`verify_cached` is on and the encoded
+        payload carries a ``column_crc``; a mismatch (silent in-memory
+        corruption of the decoded image) triggers re-decode from source.
+        """
+        if not self.verify_cached:
+            return True
+        enc = getattr(col, "payload", None)
+        crc = enc.meta.get("column_crc") if isinstance(enc, EncodedColumn) else None
+        if crc is None:
+            return True
+        if crc32_values(values) == int(crc):
+            return True
+        if self.metrics is not None:
+            self.metrics.inc("decoded_image_refreshes")
+        return False
 
     def _pool_decoded(self, name: str, col) -> np.ndarray:
         """Serve the decoded image as an evictable pool resident."""
@@ -186,7 +227,9 @@ class CrystalEngine:
         key = f"decoded/{name}"
         resident = self.pool.get(key)
         if resident is not None:
-            return resident.payload
+            if self._cached_image_ok(col, resident.payload):
+                return resident.payload
+            self.pool.invalidate(key)
         values = self._decode_column(col)
         try:
             self.pool.admit(
@@ -230,7 +273,8 @@ class CrystalEngine:
         out = np.zeros(enc.count, dtype=enc.dtype)
         if idx.size:
             elems = codec.tile_elements(enc)
-            vals = codec.decode_tiles(enc, idx)
+            with corruption_guard(name):
+                vals = codec.decode_tiles(enc, idx)
             lens = np.minimum((idx + 1) * elems, enc.count) - idx * elems
             pos = np.repeat(idx * elems, lens) + ragged_arange(lens)
             out[pos] = vals

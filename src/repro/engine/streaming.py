@@ -50,8 +50,9 @@ from repro.engine.crystal import (
 )
 from repro.engine.lookup import Lookup
 from repro.engine.predicates import column_predicates
-from repro.formats.base import DecodeArena, TileCodec
+from repro.formats.base import DecodeArena, TileCodec, corruption_guard
 from repro.formats.registry import get_codec
+from repro.formats.validate import CorruptTileError
 
 __all__ = ["DEFAULT_MORSEL_TILES", "TileStreamExecutor"]
 
@@ -333,6 +334,8 @@ class TileStreamExecutor:
         view of exactly the morsel's rows.
         """
         col = self.engine.store[name]
+        if self.engine.fault_hook is not None:
+            self.engine.fault_hook(name)
         codec = get_codec(col.codec_name)
         assert isinstance(codec, TileCodec)
         enc = col.payload
@@ -345,16 +348,29 @@ class TileStreamExecutor:
         buf = arena.scratch(name, cap)
         view = buf[:cap]
         active = self._codec_tile_activity(tile_active, elems, c0, c1, morsel.tile_lo)
-        if active.all():
-            codec.decode_range_into(enc, c0, c1, view)
-        else:
-            view[:] = 0
-            for lo, hi in _mask_runs(active):
-                # Chunks before the column's final tile are always full,
-                # so each run's values land exactly at its tile offset.
-                codec.decode_tiles_into(
-                    enc, np.arange(c0 + lo, c0 + hi), view[lo * elems :]
-                )
+        try:
+            with corruption_guard(name):
+                if active.all():
+                    codec.decode_range_into(enc, c0, c1, view)
+                else:
+                    view[:] = 0
+                    for lo, hi in _mask_runs(active):
+                        # Chunks before the column's final tile are always
+                        # full, so each run's values land exactly at its
+                        # tile offset.
+                        codec.decode_tiles_into(
+                            enc, np.arange(c0 + lo, c0 + hi), view[lo * elems :]
+                        )
+        except CorruptTileError as exc:
+            # Re-raise with the owning morsel span so the coordinator
+            # (and the client) can see exactly which slice of which
+            # worker died, instead of an anonymous thread-pool failure.
+            raise CorruptTileError(
+                exc.column,
+                exc.tile_id,
+                f"{exc.reason} [morsel {morsel.index}: engine tiles "
+                f"{morsel.tile_lo}..{morsel.tile_hi}, rows {r0}..{r1}]",
+            ) from exc
         return buf[r0 - c0 * elems : r0 - c0 * elems + (r1 - r0)]
 
     def _codec_tile_activity(
@@ -450,8 +466,21 @@ class TileStreamExecutor:
             futures = [
                 (m, pool.submit(self._run_morsel, query, plan, m)) for m in morsels
             ]
+            # Gather every future before raising: a corrupt morsel must
+            # not leave siblings running against shared arenas, and the
+            # error surfaced must be deterministic (first in morsel
+            # order), not whichever worker lost the race.
+            errors: list[tuple[int, BaseException]] = []
             for m, fut in futures:
-                outcomes[m.index] = fut.result()
+                try:
+                    outcomes[m.index] = fut.result()
+                except Exception as exc:
+                    errors.append((m.index, exc))
+            if errors:
+                if self.metrics is not None:
+                    self.metrics.inc("streaming_morsel_failures", len(errors))
+                errors.sort(key=lambda pair: pair[0])
+                raise errors[0][1]
         exec_ms = (time.perf_counter() - t0) * 1e3
 
         merged = self._merge(plan_result, outcomes)

@@ -12,6 +12,18 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    checksums_enabled,
+    corruption_guard,
+    crc32_values,
+    set_checksums,
+    set_verify_mode,
+    verify_mode,
+)
+from repro.formats.container import (
+    checked_decode,
+    encode_with_checksums,
+    load_container,
+    save_container,
 )
 from repro.formats.decimal import (
     EncodedDecimalColumn,
@@ -36,7 +48,12 @@ from repro.formats.strings import (
 from repro.formats.pfor import Pfor
 from repro.formats.rle import Rle
 from repro.formats.simple8b import Simple8b
-from repro.formats.validate import CorruptColumnError, validate_encoded
+from repro.formats.validate import (
+    CorruptColumnError,
+    CorruptTileError,
+    validate_decode_safety,
+    validate_encoded,
+)
 from repro.formats.vbyte import GpuVByte
 from repro.formats.simdbp128 import GpuSimdBp128
 
@@ -54,7 +71,19 @@ __all__ = [
     "encode_strings",
     "load_encoded",
     "save_encoded",
+    "checked_decode",
+    "checksums_enabled",
+    "corruption_guard",
+    "crc32_values",
+    "encode_with_checksums",
+    "load_container",
+    "save_container",
+    "set_checksums",
+    "set_verify_mode",
+    "validate_decode_safety",
+    "verify_mode",
     "CorruptColumnError",
+    "CorruptTileError",
     "GpuBp",
     "GpuDFor",
     "GpuVByte",

@@ -16,10 +16,105 @@ many kernel passes decoding costs on the simulated GPU.
 from __future__ import annotations
 
 import abc
+import contextlib
+import os
+import zlib
 from dataclasses import dataclass, field
 from typing import ClassVar
 
 import numpy as np
+
+# -- integrity knobs ---------------------------------------------------------
+#
+# The hardened container attaches per-tile CRC32 checksums at encode time
+# and verifies them on decode.  Both halves are controlled independently:
+# REPRO_CHECKSUMS=1 (or ``set_checksums(True)``) makes *every* encode
+# attach checksums — ``encode_with_checksums`` always does regardless —
+# and REPRO_VERIFY picks the verification mode — "lazy" (default: each
+# tile verified once per decoded image, tracked in a runtime bitmap),
+# "always" (every decode re-verifies, for paranoid tests), or "off".
+
+_VERIFY_MODES = ("off", "lazy", "always")
+_FALSY = ("0", "off", "false", "no")
+
+_checksums_enabled = os.environ.get("REPRO_CHECKSUMS", "0").lower() not in _FALSY
+_verify_mode = os.environ.get("REPRO_VERIFY", "lazy").lower()
+if _verify_mode not in _VERIFY_MODES:
+    _verify_mode = "lazy"
+
+
+def checksums_enabled() -> bool:
+    """Whether plain ``encode`` attaches per-tile CRC32 checksums.
+
+    Off by default so raw codec output is byte-for-byte what it was
+    before the integrity layer existed; the hardened entry point
+    ``encode_with_checksums`` always attaches them.
+    """
+    return _checksums_enabled
+
+
+def set_checksums(enabled: bool) -> bool:
+    """Toggle checksum attachment at encode; returns the previous setting."""
+    global _checksums_enabled
+    previous = _checksums_enabled
+    _checksums_enabled = bool(enabled)
+    return previous
+
+
+def verify_mode() -> str:
+    """Current decode verification mode: ``off``, ``lazy``, or ``always``."""
+    return _verify_mode
+
+
+def set_verify_mode(mode: str) -> str:
+    """Set the decode verification mode; returns the previous mode."""
+    if mode not in _VERIFY_MODES:
+        raise ValueError(f"verify mode must be one of {_VERIFY_MODES}, got {mode!r}")
+    global _verify_mode
+    previous = _verify_mode
+    _verify_mode = mode
+    return previous
+
+
+def crc32_values(values: np.ndarray) -> int:
+    """CRC32 of logical values in canonical form (little-endian int64).
+
+    Every checksum in the container uses this basis so digests agree no
+    matter which decode path produced the values (``decode`` in the
+    column's dtype, ``decode_tiles_into`` in int64 scratch).
+    """
+    v = np.ascontiguousarray(np.asarray(values), dtype="<i8")
+    return zlib.crc32(v)
+
+
+@contextlib.contextmanager
+def corruption_guard(column: str, tile_id: int = -1, what: str = "decode"):
+    """Convert raw decode faults into a structured :class:`CorruptTileError`.
+
+    Wrapped around decode entry points so a mangled payload that slips
+    past validation (numpy fancy-index misses, shape mismatches, overflow
+    in derived offsets, allocation bombs) surfaces as a corruption report
+    instead of an anonymous exception deep inside a worker thread.
+    Existing :class:`CorruptTileError` reports pass through untouched.
+    """
+    from repro.formats.validate import CorruptTileError
+
+    try:
+        yield
+    except CorruptTileError:
+        raise
+    except (
+        IndexError,
+        KeyError,
+        ValueError,
+        TypeError,
+        OverflowError,
+        ZeroDivisionError,
+        MemoryError,
+    ) as exc:
+        raise CorruptTileError(
+            column, tile_id, f"{what} fault: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 @dataclass
@@ -45,6 +140,11 @@ class EncodedColumn:
     def nbytes(self) -> int:
         """Total compressed footprint in bytes (all physical arrays)."""
         return sum(a.nbytes for a in self.arrays.values())
+
+    @property
+    def column_name(self) -> str:
+        """Logical column name for error reports (``<unnamed>`` if unset)."""
+        return str(self.meta.get("column", "<unnamed>"))
 
     @property
     def bits_per_int(self) -> float:
@@ -356,6 +456,115 @@ class TileCodec(ColumnCodec):
                     f"tile {bad} out of range for column with {n_tiles} tiles"
                 )
         return tiles
+
+    # -- integrity ----------------------------------------------------------
+
+    def attach_tile_checksums(self, enc: EncodedColumn, values: np.ndarray) -> None:
+        """Compute the per-tile CRC32 table for ``enc`` at encode time.
+
+        Stores ``tile_crcs`` (uint32, one entry per decode tile) and
+        ``column_crc`` in ``enc.meta`` over the *logical* values in
+        canonical form (:func:`crc32_values` basis), so any decode path
+        can verify against them.  No-op when checksums are disabled.
+        """
+        if not checksums_enabled():
+            return
+        v = np.ascontiguousarray(np.asarray(values), dtype="<i8")
+        n_tiles = self.num_tiles(enc)
+        per_tile = self.tile_elements(enc)
+        crcs = np.empty(n_tiles, dtype=np.uint32)
+        column_crc = 0
+        for t in range(n_tiles):
+            chunk = v[t * per_tile : (t + 1) * per_tile]
+            crcs[t] = zlib.crc32(chunk)
+            column_crc = zlib.crc32(chunk, column_crc)
+        enc.meta["tile_crcs"] = crcs
+        enc.meta["column_crc"] = int(column_crc)
+
+    def validate_for_decode(self, enc: EncodedColumn) -> None:
+        """Strict metadata validation before any unpack (cached per column).
+
+        Runs :func:`repro.formats.validate.validate_decode_safety` once
+        per encoded column (tracked with a runtime ``_validated`` mark
+        that is never serialized); ``always`` verify mode re-validates on
+        every decode.
+        """
+        if verify_mode() != "always" and enc.meta.get("_validated"):
+            return
+        from repro.formats.validate import validate_decode_safety
+
+        validate_decode_safety(enc, enc.column_name)
+        enc.meta["_validated"] = True
+
+    def verify_decoded_tiles(
+        self, enc: EncodedColumn, tile_indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Check decoded tile chunks against the per-tile CRC32 table.
+
+        ``values`` holds the tiles' *logical* values concatenated in
+        ``tile_indices`` order (any integer dtype).  In ``lazy`` mode each
+        tile is verified the first time it is decoded (a runtime
+        ``_crc_seen`` bitmap, reset whenever the payload mutates); in
+        ``always`` mode every decode re-verifies.  Columns without a
+        checksum table pass through (checksums are optional).
+        """
+        if verify_mode() == "off":
+            return
+        crcs = enc.meta.get("tile_crcs")
+        if crcs is None:
+            return
+        tiles = np.atleast_1d(np.asarray(tile_indices, dtype=np.int64))
+        if tiles.size == 0:
+            return
+        column = enc.column_name
+        n_tiles = self.num_tiles(enc)
+        crcs = np.asarray(crcs)
+        if crcs.size != n_tiles:
+            from repro.formats.validate import CorruptTileError
+
+            raise CorruptTileError(
+                column, -1,
+                f"checksum table has {crcs.size} entries for {n_tiles} tiles",
+            )
+        seen = None
+        if verify_mode() == "lazy":
+            seen = enc.meta.get("_crc_seen")
+            if seen is None:
+                seen = np.zeros(n_tiles, dtype=bool)
+                enc.meta["_crc_seen"] = seen
+            if bool(seen[tiles].all()):
+                return
+        v = np.ascontiguousarray(np.asarray(values), dtype="<i8")
+        per_tile = self.tile_elements(enc)
+        count = enc.count
+        # Full-column fast path: a whole-column decode (the scan case)
+        # verifies with ONE CRC pass over the buffer instead of a
+        # per-tile Python loop; the loop below only runs to localize the
+        # failing tile when the single pass disagrees.
+        column_crc = enc.meta.get("column_crc")
+        if (
+            column_crc is not None
+            and tiles.size == n_tiles
+            and v.size == count
+            and bool(np.array_equal(tiles, np.arange(n_tiles)))
+        ):
+            if zlib.crc32(v) == int(column_crc):
+                if seen is not None:
+                    seen[:] = True
+                return
+        pos = 0
+        for t in tiles.tolist():
+            length = min((t + 1) * per_tile, count) - t * per_tile
+            chunk = v[pos : pos + length]
+            pos += length
+            if seen is not None and seen[t]:
+                continue
+            if zlib.crc32(chunk) != int(crcs[t]):
+                from repro.formats.validate import CorruptTileError
+
+                raise CorruptTileError(column, int(t), "tile checksum mismatch (CRC32)")
+            if seen is not None:
+                seen[t] = True
 
     @abc.abstractmethod
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:

@@ -1,0 +1,262 @@
+"""Versioned framed container + hardened decode for encoded columns.
+
+The serialization in :mod:`repro.formats.io` trusts ``.npz`` framing; this
+module defines the *hardened* wire format the serving path assumes when
+compressed bytes cross a trust boundary (disk, network, a buffer pool that
+outlives the encoder):
+
+``RTLC`` magic | container version | codec version | header length |
+JSON header (format id, logical count, dtype, scheme metadata, section
+table) | section payloads back to back.
+
+Every section (each physical array and each array-valued metadata entry)
+carries its dtype, shape, byte length, and CRC32 in the header, so a
+truncated, bit-flipped, or mislabelled container is rejected at load with
+a structured :class:`~repro.formats.validate.CorruptTileError` instead of
+decoding into garbage.  :func:`checked_decode` is the matching decode
+entry point: strict metadata validation, a guarded decode, a decoded
+length check, and a whole-column CRC comparison — the "never silently
+wrong" contract the fuzz suite pins for every registry codec.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from repro.formats.base import (
+    EncodedColumn,
+    TileCodec,
+    corruption_guard,
+    crc32_values,
+    set_checksums,
+    verify_mode,
+)
+from repro.formats.registry import get_codec
+from repro.formats.validate import CorruptTileError, validate_decode_safety
+
+#: Leading magic of every framed container ("Repro Tile Lightweight Container").
+MAGIC = b"RTLC"
+#: Version of the framing itself (magic/header/section layout).
+CONTAINER_VERSION = 1
+#: Version of the codec physical layouts the payload was written with.
+CODEC_VERSION = 1
+
+_PREAMBLE = struct.Struct("<4sHHI")  # magic, container ver, codec ver, header len
+
+
+def encode_with_checksums(
+    codec_name: str,
+    values: np.ndarray,
+    column: str | None = None,
+    **codec_kwargs,
+) -> EncodedColumn:
+    """Encode ``values`` and attach the container's integrity metadata.
+
+    The one-stop hardened encode: the named codec compresses the column,
+    tile codecs attach their per-tile CRC32 table (done inside
+    ``encode`` itself), and every codec gains a whole-column ``column_crc``
+    plus the codec version and, when given, the logical column name used
+    in corruption reports.
+    """
+    codec = get_codec(codec_name, **codec_kwargs)
+    values = np.asarray(values)
+    # The hardened encode always attaches checksums, whatever the
+    # process-wide default (plain ``encode`` honours that default).
+    prev = set_checksums(True)
+    try:
+        enc = codec.encode(values)
+    finally:
+        set_checksums(prev)
+    if column is not None:
+        enc.meta["column"] = column
+    enc.meta["codec_version"] = CODEC_VERSION
+    if "column_crc" not in enc.meta:
+        enc.meta["column_crc"] = crc32_values(values)
+    return enc
+
+
+def checked_decode(enc: EncodedColumn, column: str | None = None) -> np.ndarray:
+    """Decode ``enc`` with the full corruption contract.
+
+    Guarantees one of exactly two outcomes: the column's bit-identical
+    logical values, or :class:`CorruptTileError`.  Wrong values can only
+    slip through if corruption leaves every per-tile CRC *and* the
+    whole-column CRC intact — vanishingly unlikely for CRC32 bit flips —
+    and raw numpy faults (IndexError, shape mismatches, overflow) are
+    converted to structured reports by the corruption guard.
+    """
+    if column is None:
+        column = enc.column_name
+    try:
+        codec = get_codec(enc.codec)
+    except KeyError as exc:
+        raise CorruptTileError(column, -1, f"unknown format id {enc.codec!r}") from exc
+
+    if isinstance(codec, TileCodec):
+        codec.validate_for_decode(enc)
+    else:
+        validate_decode_safety(enc, column)
+    with corruption_guard(column):
+        values = codec.decode(enc)
+    if values.shape != (enc.count,):
+        raise CorruptTileError(
+            column, -1, f"decoded {values.size} values, expected {enc.count}"
+        )
+    column_crc = enc.meta.get("column_crc")
+    if column_crc is not None and verify_mode() != "off":
+        if crc32_values(values) != int(column_crc):
+            raise CorruptTileError(column, -1, "column checksum mismatch (CRC32)")
+    return values
+
+
+def _sections(enc: EncodedColumn) -> list[tuple[str, str, np.ndarray]]:
+    """Every framed section: (kind, name, array) for arrays and ndarray meta."""
+    out = [("array", name, arr) for name, arr in enc.arrays.items()]
+    for key, value in enc.meta.items():
+        if isinstance(value, np.ndarray) and not key.startswith("_"):
+            out.append(("meta", key, value))
+    return out
+
+
+def dumps(enc: EncodedColumn) -> bytes:
+    """Serialize ``enc`` into the framed container format."""
+    sections = []
+    payloads = []
+    for kind, name, arr in _sections(enc):
+        raw = np.ascontiguousarray(arr)
+        payload = raw.tobytes()
+        sections.append(
+            {
+                "kind": kind,
+                "name": name,
+                "dtype": raw.dtype.str,
+                "shape": list(raw.shape),
+                "nbytes": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        payloads.append(payload)
+    json_meta = {
+        k: v
+        for k, v in enc.meta.items()
+        if not isinstance(v, np.ndarray) and not k.startswith("_")
+    }
+    header = json.dumps(
+        {
+            "codec": enc.codec,
+            "count": enc.count,
+            "dtype": np.dtype(enc.dtype).str,
+            "meta": json_meta,
+            "sections": sections,
+        }
+    ).encode("utf-8")
+    return b"".join(
+        [
+            _PREAMBLE.pack(MAGIC, CONTAINER_VERSION, CODEC_VERSION, len(header)),
+            header,
+            *payloads,
+        ]
+    )
+
+
+def loads(buf: bytes, column: str | None = None) -> EncodedColumn:
+    """Parse a framed container, verifying framing and per-section CRCs.
+
+    Raises:
+        CorruptTileError: bad magic, unsupported versions, truncated
+            header or payload, section length/CRC mismatch, or an
+            unparseable header.
+    """
+    buf = bytes(buf)
+    name = column or "<unnamed>"
+    if len(buf) < _PREAMBLE.size:
+        raise CorruptTileError(name, -1, "container shorter than the preamble")
+    magic, container_ver, codec_ver, header_len = _PREAMBLE.unpack_from(buf)
+    if magic != MAGIC:
+        raise CorruptTileError(name, -1, f"bad magic {magic!r}")
+    if container_ver > CONTAINER_VERSION:
+        raise CorruptTileError(
+            name, -1, f"container version {container_ver} not supported"
+        )
+    if codec_ver > CODEC_VERSION:
+        raise CorruptTileError(name, -1, f"codec version {codec_ver} not supported")
+    header_end = _PREAMBLE.size + header_len
+    if header_end > len(buf):
+        raise CorruptTileError(name, -1, "truncated container header")
+    try:
+        header = json.loads(buf[_PREAMBLE.size : header_end].decode("utf-8"))
+        sections = header["sections"]
+        count = int(header["count"])
+        dtype = np.dtype(header["dtype"])
+        meta = dict(header["meta"])
+        codec = str(header["codec"])
+        declared = sum(int(s["nbytes"]) for s in sections)
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise CorruptTileError(
+            name, -1, f"unreadable container header: {type(exc).__name__}: {exc}"
+        ) from exc
+    if column is None:
+        name = str(meta.get("column", name))
+    if declared != len(buf) - header_end:
+        raise CorruptTileError(
+            name,
+            -1,
+            f"section table declares {declared} payload bytes, "
+            f"container holds {len(buf) - header_end}",
+        )
+
+    arrays: dict[str, np.ndarray] = {}
+    offset = header_end
+    for section in sections:
+        nbytes = int(section["nbytes"])
+        payload = buf[offset : offset + nbytes]
+        offset += nbytes
+        if zlib.crc32(payload) != int(section["crc32"]):
+            raise CorruptTileError(
+                name, -1, f"section {section['name']!r} checksum mismatch (CRC32)"
+            )
+        try:
+            arr = np.frombuffer(payload, dtype=np.dtype(section["dtype"]))
+            arr = arr.reshape(tuple(int(d) for d in section["shape"])).copy()
+        except (ValueError, TypeError) as exc:
+            raise CorruptTileError(
+                name,
+                -1,
+                f"section {section['name']!r} does not match its declared "
+                f"dtype/shape: {exc}",
+            ) from exc
+        if section["kind"] == "meta":
+            meta[str(section["name"])] = arr
+        else:
+            arrays[str(section["name"])] = arr
+    return EncodedColumn(
+        codec=codec, count=count, arrays=arrays, meta=meta, dtype=dtype
+    )
+
+
+def save_container(enc: EncodedColumn, path: str | os.PathLike | io.IOBase) -> None:
+    """Write the framed container to ``path`` (or a binary file object)."""
+    blob = dumps(enc)
+    if hasattr(path, "write"):
+        path.write(blob)
+    else:
+        with open(path, "wb") as fh:
+            fh.write(blob)
+
+
+def load_container(
+    path: str | os.PathLike | io.IOBase, column: str | None = None
+) -> EncodedColumn:
+    """Read a framed container written by :func:`save_container`."""
+    if hasattr(path, "read"):
+        blob = path.read()
+    else:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    return loads(blob, column=column)

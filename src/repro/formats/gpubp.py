@@ -84,7 +84,7 @@ class GpuBp(TileCodec):
         tile_mins, tile_maxs = exact_tile_bounds(
             values.astype(np.int64), self._d_blocks * BLOCK
         )
-        return EncodedColumn(
+        enc = EncodedColumn(
             codec=self.name,
             count=n,
             arrays={
@@ -99,11 +99,16 @@ class GpuBp(TileCodec):
             },
             dtype=values.dtype,
         )
+        self.attach_tile_checksums(enc, v[:n])
+        return enc
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
+        self.validate_for_decode(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         out = self._decode_blocks(enc, 0, n_blocks)
-        return out[: enc.count].astype(enc.dtype)
+        vals = out[: enc.count]
+        self.verify_decoded_tiles(enc, np.arange(self.num_tiles(enc)), vals)
+        return vals.astype(enc.dtype)
 
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         starts, lengths = self.tile_segments(enc)
@@ -121,18 +126,22 @@ class GpuBp(TileCodec):
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         self.check_tile_index(enc, tile_idx)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
         last = min(first + d, n_blocks)
         vals = self._decode_blocks(enc, first, last)
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
-        return vals[:end].astype(enc.dtype)
+        vals = vals[:end]
+        self.verify_decoded_tiles(enc, np.array([tile_idx]), vals)
+        return vals.astype(enc.dtype)
 
     def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
         tiles = self._validate_tile_indices(enc, tile_indices)
         if tiles.size == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tiles * d
@@ -140,7 +149,9 @@ class GpuBp(TileCodec):
         blocks = np.repeat(first, nb) + ragged_arange(nb)
         vals = self._decode_block_indices(enc, blocks)
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
-        return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
+        vals = trim_tile_chunks(vals, nb * BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, vals)
+        return vals.astype(enc.dtype, copy=False)
 
     def decode_tiles_into(
         self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
@@ -150,13 +161,16 @@ class GpuBp(TileCodec):
         require_out_buffer(out, tiles.size * d * BLOCK)
         if tiles.size == 0:
             return 0
+        self.validate_for_decode(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tiles * d
         nb = np.minimum(first + d, n_blocks) - first
         blocks = np.repeat(first, nb) + ragged_arange(nb)
         self._decode_block_indices(enc, blocks, out=out)
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
-        return compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        written = compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
 
     def tile_segments(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         d = self.d_blocks(enc)

@@ -84,7 +84,7 @@ class GpuDFor(TileCodec):
             first_values.max() >= 2**31 or first_values.min() < -(2**31)
         ):
             raise ValueError("first values do not fit in int32")
-        return EncodedColumn(
+        enc = EncodedColumn(
             codec=self.name,
             count=n,
             arrays={
@@ -96,10 +96,13 @@ class GpuDFor(TileCodec):
             meta={"d_blocks": self._d_blocks, "mean_bits": float(bits.mean()) if bits.size else 0.0},
             dtype=values.dtype,
         )
+        self.attach_tile_checksums(enc, v[:n])
+        return enc
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
         if enc.count == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         tile = d * BLOCK
         n_blocks = enc.arrays["block_starts"].size - 1
@@ -107,7 +110,9 @@ class GpuDFor(TileCodec):
         tiles = deltas.reshape(-1, tile)
         sums = np.cumsum(tiles, axis=1)
         values = sums + enc.arrays["first_values"].astype(np.int64)[:, None]
-        return values.reshape(-1)[: enc.count].astype(enc.dtype)
+        vals = values.reshape(-1)[: enc.count]
+        self.verify_decoded_tiles(enc, np.arange(self.num_tiles(enc)), vals)
+        return vals.astype(enc.dtype)
 
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         decoded_bytes = enc.count * 4
@@ -142,6 +147,7 @@ class GpuDFor(TileCodec):
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         self.check_tile_index(enc, tile_idx)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
@@ -154,12 +160,15 @@ class GpuDFor(TileCodec):
         sums, _ = block_prefix_sum(deltas, inclusive=True)
         values = sums + int(enc.arrays["first_values"][tile_idx])
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
-        return values[:end].astype(enc.dtype)
+        values = values[:end]
+        self.verify_decoded_tiles(enc, np.array([tile_idx]), values)
+        return values.astype(enc.dtype)
 
     def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
         tiles = self._validate_tile_indices(enc, tile_indices)
         if tiles.size == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         tile = d * BLOCK
         # The encoder pads to whole tiles, so every tile holds exactly
@@ -172,9 +181,11 @@ class GpuDFor(TileCodec):
         sums = np.cumsum(deltas, axis=1)
         values = sums + enc.arrays["first_values"].astype(np.int64)[tiles, None]
         keep = np.minimum((tiles + 1) * tile, enc.count) - tiles * tile
-        return trim_tile_chunks(
+        vals = trim_tile_chunks(
             values.reshape(-1), np.full(tiles.size, tile, dtype=np.int64), keep
-        ).astype(enc.dtype, copy=False)
+        )
+        self.verify_decoded_tiles(enc, tiles, vals)
+        return vals.astype(enc.dtype, copy=False)
 
     def decode_tiles_into(
         self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
@@ -185,6 +196,7 @@ class GpuDFor(TileCodec):
         require_out_buffer(out, tiles.size * tile)
         if tiles.size == 0:
             return 0
+        self.validate_for_decode(enc)
         blocks = (tiles[:, None] * d + np.arange(d)).reshape(-1)
         deltas = unpack_block_indices(
             enc.arrays["data"], enc.arrays["block_starts"], blocks, out=out
@@ -194,9 +206,11 @@ class GpuDFor(TileCodec):
         np.cumsum(deltas, axis=1, out=deltas)
         deltas += enc.arrays["first_values"].astype(np.int64)[tiles, None]
         keep = np.minimum((tiles + 1) * tile, enc.count) - tiles * tile
-        return compact_tile_chunks_inplace(
+        written = compact_tile_chunks_inplace(
             out, np.full(tiles.size, tile, dtype=np.int64), keep
         )
+        self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds by bounding the tile's delta prefix sums.

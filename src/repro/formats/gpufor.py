@@ -290,18 +290,23 @@ class GpuFor(TileCodec):
         padded = _pad_to_blocks(values.astype(np.int64))
         data, block_starts, bits = pack_blocks(padded)
         header = np.array([values.size, BLOCK, MINIBLOCKS_PER_BLOCK], dtype=np.uint32)
-        return EncodedColumn(
+        enc = EncodedColumn(
             codec=self.name,
             count=values.size,
             arrays={"header": header, "block_starts": block_starts, "data": data},
             meta={"d_blocks": self._d_blocks, "mean_bits": float(bits.mean()) if bits.size else 0.0},
             dtype=values.dtype,
         )
+        self.attach_tile_checksums(enc, padded[: values.size])
+        return enc
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
+        self.validate_for_decode(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         full = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], 0, n_blocks)
-        return full[: enc.count].astype(enc.dtype)
+        vals = full[: enc.count]
+        self.verify_decoded_tiles(enc, np.arange(self.num_tiles(enc)), vals)
+        return vals.astype(enc.dtype)
 
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         decoded_bytes = enc.count * 4
@@ -327,6 +332,7 @@ class GpuFor(TileCodec):
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         self.check_tile_index(enc, tile_idx)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tile_idx * d
@@ -334,12 +340,15 @@ class GpuFor(TileCodec):
         vals = unpack_blocks(enc.arrays["data"], enc.arrays["block_starts"], first, last)
         # Trim padding on the final tile.
         end = min((first + d) * BLOCK, enc.count) - first * BLOCK
-        return vals[:end].astype(enc.dtype)
+        vals = vals[:end]
+        self.verify_decoded_tiles(enc, np.array([tile_idx]), vals)
+        return vals.astype(enc.dtype)
 
     def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
         tiles = self._validate_tile_indices(enc, tile_indices)
         if tiles.size == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tiles * d
@@ -347,7 +356,9 @@ class GpuFor(TileCodec):
         blocks = np.repeat(first, nb) + ragged_arange(nb)
         vals = unpack_block_indices(enc.arrays["data"], enc.arrays["block_starts"], blocks)
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
-        return trim_tile_chunks(vals, nb * BLOCK, keep).astype(enc.dtype, copy=False)
+        vals = trim_tile_chunks(vals, nb * BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, vals)
+        return vals.astype(enc.dtype, copy=False)
 
     def decode_tiles_into(
         self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
@@ -357,6 +368,7 @@ class GpuFor(TileCodec):
         require_out_buffer(out, tiles.size * d * BLOCK)
         if tiles.size == 0:
             return 0
+        self.validate_for_decode(enc)
         n_blocks = enc.arrays["block_starts"].size - 1
         first = tiles * d
         nb = np.minimum(first + d, n_blocks) - first
@@ -365,7 +377,9 @@ class GpuFor(TileCodec):
             enc.arrays["data"], enc.arrays["block_starts"], blocks, out=out
         )
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
-        return compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        written = compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from the block headers.

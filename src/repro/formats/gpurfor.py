@@ -99,7 +99,7 @@ class GpuRFor(TileCodec):
             vals_packed = pack_ragged(run_values, runs_per_block)
             lens_packed = pack_ragged(run_lengths, runs_per_block)
         header = np.array([n, RFOR_BLOCK], dtype=np.uint32)
-        return EncodedColumn(
+        enc = EncodedColumn(
             codec=self.name,
             count=n,
             arrays={
@@ -116,13 +116,40 @@ class GpuRFor(TileCodec):
             },
             dtype=values.dtype,
         )
+        self.attach_tile_checksums(enc, v[:n])
+        return enc
+
+    def _check_run_sum(
+        self, enc: EncodedColumn, run_lengths: np.ndarray, n_blocks: int, tile_id: int
+    ) -> None:
+        """Reject corrupt run lengths *before* expansion allocates output.
+
+        Each block's run lengths must sum to exactly ``RFOR_BLOCK``; a
+        flipped bit in the packed lengths stream would otherwise make
+        ``np.repeat`` allocate an arbitrarily large (or misaligned)
+        expansion.
+        """
+        expected = n_blocks * RFOR_BLOCK
+        total = int(run_lengths.sum()) if run_lengths.size else 0
+        if total != expected or (run_lengths.size and int(run_lengths.min()) < 1):
+            from repro.formats.validate import CorruptTileError
+
+            raise CorruptTileError(
+                enc.column_name, tile_id,
+                f"run lengths sum to {total}, expected {expected}",
+            )
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
         if enc.count == 0:
             return np.zeros(0, dtype=enc.dtype)
-        run_values, run_lengths = self._decode_runs(enc, 0, self._num_blocks(enc))
+        self.validate_for_decode(enc)
+        n_blocks = self._num_blocks(enc)
+        run_values, run_lengths = self._decode_runs(enc, 0, n_blocks)
+        self._check_run_sum(enc, run_lengths, n_blocks, -1)
         out = np.repeat(run_values, run_lengths)
-        return out[: enc.count].astype(enc.dtype)
+        vals = out[: enc.count]
+        self.verify_decoded_tiles(enc, np.arange(self.num_tiles(enc)), vals)
+        return vals.astype(enc.dtype)
 
     def cascade_passes(self, enc: EncodedColumn) -> list[CascadePass]:
         """Eight kernel passes (Section 9.2): FOR+BitPack for both streams,
@@ -192,23 +219,28 @@ class GpuRFor(TileCodec):
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         self.check_tile_index(enc, tile_idx)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = self._num_blocks(enc)
         first = tile_idx * d
         last = min(first + d, n_blocks)
         run_values, run_lengths = self._decode_runs(enc, first, last)
+        self._check_run_sum(enc, run_lengths, last - first, tile_idx)
         # The device function's expansion: Fang et al.'s four block-wide
         # steps (scan, scatter, max-scan, gather) in shared memory.
         from repro.engine.primitives import block_rle_expand
 
         out = block_rle_expand(run_values, run_lengths)
         end = min((first + d) * RFOR_BLOCK, enc.count) - first * RFOR_BLOCK
-        return out[:end].astype(enc.dtype)
+        out = out[:end]
+        self.verify_decoded_tiles(enc, np.array([tile_idx]), out)
+        return out.astype(enc.dtype)
 
     def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
         tiles = self._validate_tile_indices(enc, tile_indices)
         if tiles.size == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         d = self.d_blocks(enc)
         n_blocks = self._num_blocks(enc)
         first = tiles * d
@@ -233,12 +265,15 @@ class GpuRFor(TileCodec):
         )
         # Runs never cross block boundaries and each block's lengths sum
         # to exactly RFOR_BLOCK, so one repeat expands the whole batch.
+        self._check_run_sum(enc, run_lengths, int(nb.sum()), int(tiles[0]))
         expanded = np.repeat(run_values, run_lengths)
         keep = (
             np.minimum((tiles + 1) * d * RFOR_BLOCK, enc.count)
             - tiles * d * RFOR_BLOCK
         )
-        return trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep).astype(enc.dtype, copy=False)
+        vals = trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, vals)
+        return vals.astype(enc.dtype, copy=False)
 
     def decode_tiles_into(
         self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray

@@ -12,6 +12,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import zlib
 
 import numpy as np
 
@@ -22,25 +23,40 @@ _META_KEY = "__repro_meta__"
 #: Prefix for array-valued meta entries (e.g. encode-time zone maps),
 #: which cannot ride in the JSON blob and are stored as archive members.
 _META_ARRAY_PREFIX = "__repro_meta_arr__/"
-#: Format version written into every file.
-FORMAT_VERSION = 1
+#: Format version written into every file.  Version 2 adds per-array
+#: CRC32 digests to the metadata blob (verified at load) and stops
+#: persisting runtime-only meta keys; version-1 files still load.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_encoded(enc: EncodedColumn, path: str | os.PathLike | io.IOBase) -> None:
-    """Write an encoded column to ``path`` (``.npz``)."""
+    """Write an encoded column to ``path`` (``.npz``).
+
+    Metadata keys starting with ``_`` are runtime-only state (the lazy
+    verification bitmap, the validation mark) and are never serialized —
+    a reloaded column always re-validates and re-verifies from scratch.
+    """
     json_meta = {}
     array_meta = {}
     for key, value in enc.meta.items():
+        if key.startswith("_"):
+            continue
         if isinstance(value, np.ndarray):
             array_meta[_META_ARRAY_PREFIX + key] = value
         else:
             json_meta[key] = value
+    array_crcs = {
+        name: zlib.crc32(np.ascontiguousarray(arr))
+        for name, arr in (*enc.arrays.items(), *array_meta.items())
+    }
     meta = {
         "version": FORMAT_VERSION,
         "codec": enc.codec,
         "count": enc.count,
         "dtype": np.dtype(enc.dtype).str,
         "meta": json_meta,
+        "array_crcs": array_crcs,
     }
     payload = {name: arr for name, arr in enc.arrays.items()}
     for name in (_META_KEY, *array_meta):
@@ -59,19 +75,33 @@ def load_encoded(path: str | os.PathLike | io.IOBase) -> EncodedColumn:
         if _META_KEY not in archive:
             raise ValueError("not a repro encoded-column file (missing metadata)")
         meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-        if meta.get("version") != FORMAT_VERSION:
+        if meta.get("version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported format version {meta.get('version')!r}"
             )
+        array_crcs = meta.get("array_crcs", {})
+        column = str(meta.get("meta", {}).get("column", "<unnamed>"))
         arrays = {}
         restored_meta = dict(meta["meta"])
         for name in archive.files:
             if name == _META_KEY:
                 continue
+            arr = archive[name]
+            if name in array_crcs and zlib.crc32(np.ascontiguousarray(arr)) != int(
+                array_crcs[name]
+            ):
+                from repro.formats.validate import CorruptTileError
+
+                short = name[len(_META_ARRAY_PREFIX):] if name.startswith(
+                    _META_ARRAY_PREFIX
+                ) else name
+                raise CorruptTileError(
+                    column, -1, f"stored array {short!r} checksum mismatch (CRC32)"
+                )
             if name.startswith(_META_ARRAY_PREFIX):
-                restored_meta[name[len(_META_ARRAY_PREFIX):]] = archive[name]
+                restored_meta[name[len(_META_ARRAY_PREFIX):]] = arr
             else:
-                arrays[name] = archive[name]
+                arrays[name] = arr
     return EncodedColumn(
         codec=meta["codec"],
         count=int(meta["count"]),

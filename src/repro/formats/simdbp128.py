@@ -87,7 +87,7 @@ class GpuSimdBp128(TileCodec):
             start = int(block_starts[i]) + _HEADER_WORDS
             data[start : start + packed.size] = packed
 
-        return EncodedColumn(
+        enc = EncodedColumn(
             codec=self.name,
             count=n,
             arrays={
@@ -98,6 +98,8 @@ class GpuSimdBp128(TileCodec):
             meta={"d_blocks": 1},
             dtype=values.dtype,
         )
+        self.attach_tile_checksums(enc, v[:n])
+        return enc
 
     def decode(self, enc: EncodedColumn) -> np.ndarray:
         return self.decode_range(enc, 0, self.num_tiles(enc))
@@ -125,6 +127,7 @@ class GpuSimdBp128(TileCodec):
 
     def decode_tile(self, enc: EncodedColumn, tile_idx: int) -> np.ndarray:
         self.check_tile_index(enc, tile_idx)
+        self.validate_for_decode(enc)
         starts = enc.arrays["block_starts"].astype(np.int64)
         data = enc.arrays["data"]
         start = int(starts[tile_idx])
@@ -137,12 +140,15 @@ class GpuSimdBp128(TileCodec):
             vals = np.zeros(VBLOCK, dtype=np.int64)
         vals += reference
         end = min((tile_idx + 1) * VBLOCK, enc.count) - tile_idx * VBLOCK
-        return vals[:end].astype(enc.dtype)
+        vals = vals[:end]
+        self.verify_decoded_tiles(enc, np.array([tile_idx]), vals)
+        return vals.astype(enc.dtype)
 
     def decode_tiles(self, enc: EncodedColumn, tile_indices: np.ndarray) -> np.ndarray:
         tiles = self._validate_tile_indices(enc, tile_indices)
         if tiles.size == 0:
             return np.zeros(0, dtype=enc.dtype)
+        self.validate_for_decode(enc)
         data = enc.arrays["data"]
         bstarts = enc.arrays["block_starts"].astype(np.int64)[tiles]
         references = data[bstarts].view(np.int32).astype(np.int64)
@@ -174,9 +180,11 @@ class GpuSimdBp128(TileCodec):
             )
         out += references[:, None]
         keep = np.minimum((tiles + 1) * VBLOCK, enc.count) - tiles * VBLOCK
-        return trim_tile_chunks(
+        vals = trim_tile_chunks(
             out.reshape(-1), np.full(tiles.size, VBLOCK, dtype=np.int64), keep
-        ).astype(enc.dtype, copy=False)
+        )
+        self.verify_decoded_tiles(enc, tiles, vals)
+        return vals.astype(enc.dtype, copy=False)
 
     def decode_tiles_into(
         self, enc: EncodedColumn, tile_indices: np.ndarray, out: np.ndarray
@@ -185,6 +193,7 @@ class GpuSimdBp128(TileCodec):
         require_out_buffer(out, tiles.size * VBLOCK)
         if tiles.size == 0:
             return 0
+        self.validate_for_decode(enc)
         data = enc.arrays["data"]
         bstarts = enc.arrays["block_starts"].astype(np.int64)[tiles]
         references = data[bstarts].view(np.int32).astype(np.int64)
@@ -210,9 +219,11 @@ class GpuSimdBp128(TileCodec):
             )
         decoded += references[:, None]
         keep = np.minimum((tiles + 1) * VBLOCK, enc.count) - tiles * VBLOCK
-        return compact_tile_chunks_inplace(
+        written = compact_tile_chunks_inplace(
             out, np.full(tiles.size, VBLOCK, dtype=np.int64), keep
         )
+        self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from each block's reference + bitwidth pair.

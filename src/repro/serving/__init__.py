@@ -16,6 +16,12 @@ multi-tenant server:
   gauges and latency percentiles both components export.
 """
 
+from repro.serving.faults import (
+    FAULT_MODES,
+    FaultInjector,
+    TransientDecodeError,
+    copy_encoded,
+)
 from repro.serving.metrics import MetricsRegistry, metrics_rows, percentile
 from repro.serving.pool import (
     ColumnPool,
@@ -35,6 +41,8 @@ from repro.serving.scheduler import (
 __all__ = [
     "ColumnPool",
     "EvictionRecord",
+    "FAULT_MODES",
+    "FaultInjector",
     "MetricsRegistry",
     "PoolAdmissionError",
     "QueryServer",
@@ -43,6 +51,8 @@ __all__ = [
     "ServedResult",
     "ServerClosed",
     "ServerSaturated",
+    "TransientDecodeError",
+    "copy_encoded",
     "estimate_decode_cost_ms",
     "metrics_rows",
     "percentile",

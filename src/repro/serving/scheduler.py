@@ -40,7 +40,9 @@ import numpy as np
 from repro.core.random_access import gather
 from repro.engine.crystal import CrystalEngine
 from repro.engine.ssb_queries import QUERIES
+from repro.formats.validate import CorruptTileError
 from repro.gpusim.executor import GPUDevice
+from repro.serving.faults import TransientDecodeError
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.pool import ColumnPool, PoolAdmissionError
 from repro.ssb.dbgen import SSBDatabase
@@ -90,7 +92,7 @@ class ServedResult:
     """What a request resolves to."""
 
     request: ServeRequest
-    status: str  # "ok" | "timeout" | "rejected"
+    status: str  # "ok" | "timeout" | "rejected" | "error"
     groups: dict[int, int] | None = None
     values: np.ndarray | None = None
     queue_wait_ms: float = 0.0
@@ -132,11 +134,16 @@ class QueryServer:
         streaming: bool = False,
         stream_workers: int = 4,
         morsel_tiles: int | None = None,
+        max_retries: int = 2,
+        retry_backoff_ms: float = 5.0,
+        verify_cached: bool = False,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
         if batch_window <= 0:
             raise ValueError(f"batch_window must be positive, got {batch_window}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.device = device if device is not None else GPUDevice()
         if pool is None:
@@ -160,9 +167,19 @@ class QueryServer:
         # Morsel timings and the peak decoded-bytes gauge land next to
         # the serving latency series.
         self.engine.metrics = self.metrics
+        self.engine.verify_cached = verify_cached
         self.max_queue = max_queue
         self.batch_window = batch_window
         self.default_timeout_ms = default_timeout_ms
+        #: Bounded retries for transient decode failures, with simulated
+        #: exponential backoff added to the group's execution time.
+        self.max_retries = max_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        #: Columns whose compressed source failed verification twice
+        #: (initial decode and the re-decode-from-source fallback):
+        #: requests touching them are answered with a structured error
+        #: until :meth:`release_quarantine`.
+        self._quarantined: dict[str, str] = {}
 
         self._state_lock = threading.Lock()
         self._not_empty = threading.Condition(self._state_lock)
@@ -343,17 +360,47 @@ class QueryServer:
             live = self._expire(tickets, start_ms)
             if not live:
                 continue
+            blocked = [
+                c for c in self._group_columns(kind, name) if c in self._quarantined
+            ]
+            if blocked:
+                reason = self._quarantined[blocked[0]]
+                for ticket in live:
+                    self.metrics.inc("server_quarantine_rejections")
+                    ticket.future.set_result(
+                        ServedResult(
+                            ticket.request,
+                            "error",
+                            error=f"column {blocked[0]!r} quarantined: {reason}",
+                        )
+                    )
+                continue
             try:
-                with self._engine_lock:
-                    if kind == "query":
-                        execute_ms, payloads = self._run_query_group(name, live)
-                    else:
-                        execute_ms, payloads = self._run_lookup_group(name, live)
+                execute_ms, payloads = self._execute_group_resilient(kind, name, live)
             except PoolAdmissionError as exc:
                 for ticket in live:
                     self.metrics.inc("server_pool_rejections")
                     ticket.future.set_result(
                         ServedResult(ticket.request, "rejected", error=str(exc))
+                    )
+                continue
+            except CorruptTileError as exc:
+                # Persistent corruption: the re-decode-from-source
+                # fallback failed too, so the source bytes themselves are
+                # bad.  Quarantine the column and answer with a
+                # structured error instead of crashing the scheduler.
+                self._quarantine(exc)
+                for ticket in live:
+                    ticket.future.set_result(
+                        ServedResult(ticket.request, "error", error=str(exc))
+                    )
+                continue
+            except TransientDecodeError as exc:
+                # Still failing after max_retries backoffs.
+                for ticket in live:
+                    self.metrics.inc("server_transient_failures")
+                    ticket.future.set_result(
+                        ServedResult(ticket.request, "error", error=str(exc))
                     )
                 continue
             with self._state_lock:
@@ -391,6 +438,72 @@ class QueryServer:
             else:
                 live.append(ticket)
         return live
+
+    @staticmethod
+    def _group_columns(kind: str, name: str) -> tuple[str, ...]:
+        """The store columns a (kind, name) group will touch."""
+        if kind == "query":
+            return QUERIES[name].columns
+        return (name,)
+
+    def _execute_group_resilient(
+        self, kind: str, name: str, live: list[_Ticket]
+    ) -> tuple[float, list[dict]]:
+        """Run one group with bounded retry and corruption recovery.
+
+        Transient failures (:class:`TransientDecodeError`) are retried up
+        to ``max_retries`` times with simulated exponential backoff added
+        to the group's execution time.  Corruption
+        (:class:`CorruptTileError`) triggers one re-decode-from-source
+        per column — the cached decoded image is invalidated and the
+        group re-executes against the compressed bytes; if the same
+        column fails again the source itself is bad and the error
+        propagates (the caller quarantines it).
+        """
+        attempts = 0
+        backoff_ms = 0.0
+        redecoded: set[str] = set()
+        while True:
+            try:
+                with self._engine_lock:
+                    if kind == "query":
+                        execute_ms, payloads = self._run_query_group(name, live)
+                    else:
+                        execute_ms, payloads = self._run_lookup_group(name, live)
+                return execute_ms + backoff_ms, payloads
+            except TransientDecodeError:
+                self.metrics.inc("server_transient_retries")
+                if attempts >= self.max_retries:
+                    raise
+                backoff_ms += self.retry_backoff_ms * (2.0 ** attempts)
+                attempts += 1
+            except CorruptTileError as exc:
+                self.metrics.inc("server_checksum_failures")
+                if exc.column in redecoded:
+                    raise
+                redecoded.add(exc.column)
+                self.metrics.inc("server_corruption_redecodes")
+                self.engine.invalidate_column(exc.column)
+
+    def _quarantine(self, exc: CorruptTileError) -> None:
+        """Record a column as persistently corrupt and drop its images."""
+        self._quarantined[exc.column] = exc.reason
+        self.metrics.inc("server_quarantines")
+        self.metrics.gauge("server_quarantined_columns", len(self._quarantined))
+        self.engine.invalidate_column(exc.column)
+
+    def quarantined_columns(self) -> dict[str, str]:
+        """Currently quarantined columns mapped to their failure reason."""
+        return dict(self._quarantined)
+
+    def release_quarantine(self, column: str) -> bool:
+        """Lift a quarantine (e.g. after the source bytes were repaired).
+
+        Returns True if the column was quarantined.
+        """
+        present = self._quarantined.pop(column, None) is not None
+        self.metrics.gauge("server_quarantined_columns", len(self._quarantined))
+        return present
 
     def _place_pinned(self, columns: tuple[str, ...]):
         """Stage a group's columns through the pool and pin them for it."""

@@ -102,6 +102,8 @@ def compress_column(name: str, values: np.ndarray, system: str) -> StoredColumn:
         return StoredColumn(name, system, values, None, values.size * 4)
     if system == "gpu-star":
         choice = choose_gpu_star(values)
+        # Corruption reports carry the logical column name.
+        choice.encoded.meta.setdefault("column", name)
         return StoredColumn(
             name,
             system,
@@ -112,6 +114,7 @@ def compress_column(name: str, values: np.ndarray, system: str) -> StoredColumn:
         )
     if system == "gpu-bp":
         enc = get_codec("gpu-bp").encode(values)
+        enc.meta.setdefault("column", name)
         return StoredColumn(name, system, values, enc, enc.nbytes, codec_name="gpu-bp")
     if system == "planner":
         planned = plan_column(values)

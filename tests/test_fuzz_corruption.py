@@ -1,0 +1,194 @@
+"""Seeded corruption fuzzing: no codec may return silently wrong values.
+
+The contract under fault injection is binary: a corrupted encoded column
+either decodes to *bit-identical* values (the fault landed in padding or
+another dead byte) or raises :class:`~repro.formats.validate.CorruptTileError`.
+Raw ``IndexError`` / ``ValueError`` escapes and — worst of all — wrong
+values without any error are both failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CorruptTileError,
+    checked_decode,
+    set_checksums,
+    set_verify_mode,
+)
+from repro.formats.container import encode_with_checksums
+from repro.formats.registry import codec_names, get_codec
+from repro.serving.faults import FAULT_MODES, FaultInjector, copy_encoded
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(autouse=True)
+def _hardened():
+    """Checksums on, eager verification, restored afterwards."""
+    prev_checks = set_checksums(True)
+    prev_mode = set_verify_mode("always")
+    yield
+    set_checksums(prev_checks)
+    set_verify_mode(prev_mode)
+
+
+def _sample(seed: int, n: int = 4096) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    values = rng.integers(1000, 5000, size=n).astype(np.int64)
+    outliers = rng.integers(0, n, size=max(1, n // 256))
+    values[outliers] = rng.integers(0, 1 << 30, size=outliers.size)
+    return values
+
+
+@pytest.mark.parametrize("codec_name", codec_names())
+@pytest.mark.parametrize("mode", FAULT_MODES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_silent_corruption(codec_name, mode, seed):
+    values = _sample(seed)
+    enc = encode_with_checksums(codec_name, values, column=f"col-{codec_name}")
+    injector = FaultInjector(seed=seed * 1009 + FAULT_MODES.index(mode))
+    bad = injector.corrupt_copy(enc, mode)
+    try:
+        got = checked_decode(bad, column=f"col-{codec_name}")
+    except CorruptTileError:
+        return  # detected: the acceptable failure shape
+    # Not detected: the decode must then be bit-identical — the fault
+    # landed somewhere the format genuinely does not read.
+    got = np.asarray(got, dtype=np.int64)
+    assert got.shape == values.shape, (
+        f"{codec_name}/{mode}/seed={seed}: silent shape change "
+        f"{values.shape} -> {got.shape} ({injector.log[-1]})"
+    )
+    assert np.array_equal(got, values), (
+        f"{codec_name}/{mode}/seed={seed}: silent wrong values "
+        f"({injector.log[-1]})"
+    )
+
+
+@pytest.mark.parametrize("codec_name", codec_names())
+def test_corruption_never_escapes_raw(codec_name):
+    """Whatever the decode raises, it is CorruptTileError — never a raw
+    numpy/IndexError leaking internal state."""
+    values = _sample(3)
+    enc = encode_with_checksums(codec_name, values, column="c")
+    injector = FaultInjector(seed=99)
+    for mode in FAULT_MODES:
+        bad = injector.corrupt_copy(enc, mode)
+        try:
+            checked_decode(bad, column="c")
+        except CorruptTileError:
+            pass
+        # Any other exception type propagates and fails the test.
+
+
+def test_fault_injector_deterministic():
+    values = _sample(0)
+    enc = encode_with_checksums("gpu-for", values, column="c")
+    a = FaultInjector(seed=42).corrupt_copy(enc, "payload-bit")
+    b = FaultInjector(seed=42).corrupt_copy(enc, "payload-bit")
+    for name in a.arrays:
+        assert np.array_equal(a.arrays[name], b.arrays[name])
+    assert a.count == b.count
+
+
+def test_corrupt_copy_leaves_original_intact():
+    values = _sample(1)
+    enc = encode_with_checksums("gpu-dfor", values, column="c")
+    before = {k: v.copy() for k, v in enc.arrays.items()}
+    FaultInjector(seed=5).corrupt_copy(enc, "payload-bit")
+    for name, arr in before.items():
+        assert np.array_equal(enc.arrays[name], arr)
+    # Original still decodes clean.
+    got = checked_decode(enc, column="c")
+    assert np.array_equal(np.asarray(got, dtype=np.int64), values)
+
+
+# -- latent-bug regressions (satellite: bitwidth-0 and runaway starts) ------
+
+
+def test_gpufor_zero_bitwidth_with_nonzero_blocks_rejected():
+    """A zeroed bitwidth word with non-empty miniblocks previously slid
+    through as an all-reference tile; now it must error cleanly."""
+    values = _sample(7)
+    codec = get_codec("gpu-for")
+    enc = codec.encode(values)
+    starts = enc.arrays["block_starts"]
+    data = enc.arrays["data"]
+    # Find a block whose payload is non-empty and zero its bitwidth word.
+    widths = None
+    for b in range(starts.size - 1):
+        lo, hi = int(starts[b]), int(starts[b + 1])
+        if hi - lo > 2:  # reference word + bitwidth word + payload
+            data[lo + 1] = 0  # bitwidth word -> 0, but payload words remain
+            widths = (lo, hi)
+            break
+    assert widths is not None, "sample produced no packed blocks"
+    enc.meta.pop("_validated", None)
+    with pytest.raises(CorruptTileError):
+        checked_decode(enc, column="c")
+
+
+def test_gpufor_block_starts_past_payload_rejected():
+    """block_starts pointing past the physical payload must raise
+    CorruptTileError on every decode path, not IndexError."""
+    values = _sample(8)
+    codec = get_codec("gpu-for")
+    for path in ("decode", "decode_tiles", "decode_tiles_into"):
+        enc = codec.encode(values)
+        enc.arrays["block_starts"] = enc.arrays["block_starts"].copy()
+        enc.arrays["block_starts"][-1] = enc.arrays["data"].size + 1000
+        enc.meta.pop("_validated", None)
+        with pytest.raises(CorruptTileError):
+            if path == "decode":
+                codec.decode(enc)
+            elif path == "decode_tiles":
+                codec.decode_tiles(enc, np.arange(codec.num_tiles(enc)))
+            else:
+                out = np.empty(values.size, dtype=np.int64)
+                codec.decode_tiles_into(
+                    enc, np.arange(codec.num_tiles(enc)), out
+                )
+
+
+def test_length_mutation_detected_even_without_checksums():
+    """Structural validation alone (checksums off) still catches a
+    mutated logical count for the tile codecs."""
+    prev = set_checksums(False)
+    try:
+        values = _sample(9)
+        for name in ("gpu-for", "gpu-dfor", "gpu-rfor", "gpu-bp"):
+            enc = get_codec(name).encode(values)
+            injector = FaultInjector(seed=13)
+            bad = injector.corrupt_copy(enc, "length")
+            try:
+                got = checked_decode(bad, column="c")
+            except CorruptTileError:
+                continue
+            got = np.asarray(got, dtype=np.int64)
+            assert got.shape == values.shape and np.array_equal(got, values), (
+                f"{name}: silent wrong answer on length mutation"
+            )
+    finally:
+        set_checksums(prev)
+
+
+def test_out_of_range_tile_index_still_indexerror():
+    """The pre-existing contract: *index* errors (caller bugs) stay
+    IndexError; corruption (data bugs) becomes CorruptTileError."""
+    values = _sample(10)
+    codec = get_codec("gpu-for")
+    enc = codec.encode(values)
+    with pytest.raises(IndexError):
+        codec.decode_tile(enc, codec.num_tiles(enc) + 3)
+
+
+def test_runtime_marks_never_survive_copy():
+    values = _sample(11)
+    enc = encode_with_checksums("gpu-for", values, column="c")
+    checked_decode(enc, column="c")  # plants _validated / _crc_seen
+    clone = copy_encoded(enc)
+    assert "_validated" not in clone.meta
+    assert "_crc_seen" not in clone.meta

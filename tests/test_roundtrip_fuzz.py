@@ -1,0 +1,162 @@
+"""Property-style round-trip fuzz: adversarial value distributions
+through encode → framed container → decode for every tile codec.
+
+Hand-rolled seeded generators instead of a hypothesis dependency: each
+distribution targets a codec weak spot (outliers blow up FOR references,
+negatives exercise zigzag/reference arithmetic, int64 extremes overflow
+naive deltas, all-equal hits the bitwidth-0 path, sawtooth defeats RLE).
+The property: for every distribution × codec × size, either encode
+rejects the input with a clean ``ValueError``/``OverflowError`` or the
+full pipeline — including the serialized container and the out-buffer
+decode paths — returns bit-identical values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import set_checksums, set_verify_mode
+from repro.formats.container import (
+    checked_decode,
+    dumps,
+    encode_with_checksums,
+    loads,
+)
+from repro.formats.base import TileCodec
+from repro.formats.registry import codec_names, get_codec
+
+TILE_CODECS = ("gpu-for", "gpu-dfor", "gpu-rfor", "gpu-bp", "gpu-simdbp128")
+SIZES = (0, 1, 127, 4096, 4097, 10_000)
+SEEDS = (0, 1)
+
+
+@pytest.fixture(autouse=True)
+def _hardened():
+    prev_checks = set_checksums(True)
+    prev_mode = set_verify_mode("always")
+    yield
+    set_checksums(prev_checks)
+    set_verify_mode(prev_mode)
+
+
+def _dist_outliers(rng, n):
+    values = rng.integers(0, 100, size=n).astype(np.int64)
+    if n:
+        hot = rng.integers(0, n, size=max(1, n // 500))
+        values[hot] = rng.integers(1 << 40, 1 << 50, size=hot.size)
+    return values
+
+
+def _dist_negatives(rng, n):
+    return rng.integers(-(1 << 31), 1 << 31, size=n).astype(np.int64)
+
+
+def _dist_int64_extremes(rng, n):
+    values = rng.integers(-(1 << 62), 1 << 62, size=n).astype(np.int64)
+    if n >= 2:
+        values[0] = np.iinfo(np.int64).min + 1
+        values[-1] = np.iinfo(np.int64).max - 1
+    return values
+
+
+def _dist_all_equal(rng, n):
+    return np.full(n, int(rng.integers(-1000, 1000)), dtype=np.int64)
+
+
+def _dist_sawtooth(rng, n):
+    period = int(rng.integers(2, 97))
+    return (np.arange(n, dtype=np.int64) % period) * int(rng.integers(1, 9))
+
+
+def _dist_sorted_runs(rng, n):
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    runs = rng.integers(1, 50, size=max(1, n // 10))
+    values = np.repeat(np.cumsum(rng.integers(0, 5, size=runs.size)), runs)
+    return values[:n].astype(np.int64) if values.size >= n else np.resize(
+        values, n
+    ).astype(np.int64)
+
+
+DISTRIBUTIONS = {
+    "outliers": _dist_outliers,
+    "negatives": _dist_negatives,
+    "int64-extremes": _dist_int64_extremes,
+    "all-equal": _dist_all_equal,
+    "sawtooth": _dist_sawtooth,
+    "sorted-runs": _dist_sorted_runs,
+}
+
+#: Encode-time rejection is an acceptable outcome for hostile inputs —
+#: wrong decoded values never are.
+CLEAN_REJECTIONS = (ValueError, OverflowError, NotImplementedError)
+
+
+@pytest.mark.parametrize("codec_name", TILE_CODECS)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_container_roundtrip_tile_codecs(codec_name, dist, seed):
+    rng = np.random.default_rng(seed)
+    for n in SIZES:
+        values = DISTRIBUTIONS[dist](rng, n)
+        try:
+            enc = encode_with_checksums(codec_name, values, column="fuzz")
+        except CLEAN_REJECTIONS:
+            continue  # clean refusal at encode: acceptable
+        blob = dumps(enc)
+        assert isinstance(blob, (bytes, bytearray))
+        back = loads(bytes(blob), column="fuzz")
+        got = checked_decode(back, column="fuzz")
+        assert got.shape == values.shape, f"{dist}/n={n}: shape mismatch"
+        assert np.array_equal(np.asarray(got, dtype=np.int64), values), (
+            f"{codec_name}/{dist}/n={n}/seed={seed}: round-trip mismatch"
+        )
+
+
+@pytest.mark.parametrize("codec_name", TILE_CODECS)
+@pytest.mark.parametrize("dist", ("outliers", "negatives", "sawtooth"))
+def test_out_buffer_paths_match_allocating(codec_name, dist):
+    rng = np.random.default_rng(5)
+    codec = get_codec(codec_name)
+    assert isinstance(codec, TileCodec)
+    for n in (4096, 10_000):
+        values = DISTRIBUTIONS[dist](rng, n)
+        try:
+            enc = encode_with_checksums(codec_name, values, column="fuzz")
+        except CLEAN_REJECTIONS:
+            continue
+        n_tiles = codec.num_tiles(enc)
+        per_tile = codec.tile_elements(enc)
+        # Full range through decode_tiles_into.
+        out = np.empty(n_tiles * per_tile, dtype=np.int64)
+        written = codec.decode_tiles_into(enc, np.arange(n_tiles), out)
+        assert written == values.size
+        assert np.array_equal(out[:written], values)
+        # Non-contiguous subset, reusing the (dirty) buffer.
+        subset = np.arange(0, n_tiles, 2)
+        written = codec.decode_tiles_into(enc, subset, out)
+        expect = codec.decode_tiles(enc, subset)
+        assert np.array_equal(out[:written], np.asarray(expect, np.int64))
+        # Range variant.
+        lo, hi = 0, max(1, n_tiles // 2)
+        written = codec.decode_range_into(enc, lo, hi, out)
+        expect = codec.decode_range(enc, lo, hi)
+        assert np.array_equal(out[:written], np.asarray(expect, np.int64))
+
+
+@pytest.mark.parametrize("codec_name", sorted(set(codec_names()) - set(TILE_CODECS)))
+def test_container_roundtrip_baseline_codecs(codec_name):
+    """Baselines ride the same container: one distribution sweep each."""
+    rng = np.random.default_rng(2)
+    for dist in ("outliers", "negatives", "all-equal"):
+        values = DISTRIBUTIONS[dist](rng, 4096)
+        try:
+            enc = encode_with_checksums(codec_name, values, column="fuzz")
+        except CLEAN_REJECTIONS:
+            continue
+        back = loads(dumps(enc), column="fuzz")
+        got = checked_decode(back, column="fuzz")
+        assert np.array_equal(np.asarray(got, dtype=np.int64), values), (
+            f"{codec_name}/{dist}: container round-trip mismatch"
+        )
