@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.nvcomp import decompress_nvcomp
 from repro.core.planner import decompress_planned
 from repro.core.tile_decompress import decompress
+from repro.formats import kernels
 from repro.formats.base import (
     EncodedColumn,
     TileCodec,
@@ -36,6 +37,7 @@ from repro.formats.base import (
     crc32_values,
     exact_tile_bounds,
     ragged_arange,
+    verify_mode,
 )
 from repro.formats.registry import get_codec
 from repro.gpusim.executor import GPUDevice
@@ -108,6 +110,7 @@ class CrystalEngine:
         streaming: bool = False,
         stream_workers: int = 4,
         morsel_tiles: int | None = None,
+        kernel_backend: str | None = None,
     ):
         self.db = db
         self.store = store
@@ -130,6 +133,15 @@ class CrystalEngine:
         self.stream_workers = stream_workers
         #: Engine tiles per morsel (``None`` = executor default).
         self.morsel_tiles = morsel_tiles
+        # Bit-packing kernel backend (process-global: the backend layer
+        # holds precompiled per-bitwidth plans, not per-engine state).
+        # ``None`` keeps the process default (REPRO_KERNEL_BACKEND env or
+        # the precompiled shift-table plans).
+        if kernel_backend is not None:
+            kernels.set_backend(kernel_backend)
+        #: Resolved backend name actually serving this engine's decodes
+        #: (may differ from the request when e.g. numba is absent).
+        self.kernel_backend = kernels.backend_name()
         #: Optional serving MetricsRegistry receiving per-morsel timings
         #: and the peak decoded-bytes gauge (set by the QueryServer).
         self.metrics = None
@@ -279,6 +291,74 @@ class CrystalEngine:
             pos = np.repeat(idx * elems, lens) + ragged_arange(lens)
             out[pos] = vals
         return out
+
+    def fusion_allowed(self, enc) -> bool:
+        """Whether fused decode+filter may serve this encoded column.
+
+        Fused kernels skip unpacking blocks their header bounds already
+        disqualify, so they cannot honour per-tile CRC verification on
+        partially-skipped decodes.  Columns carrying a ``tile_crcs``
+        table therefore stay on the plain decode path unless
+        verification is globally off.
+        """
+        return verify_mode() == "off" or "tile_crcs" not in enc.meta
+
+    def count_fused_kernel(self, rows: int) -> None:
+        """Record one fused decode+filter kernel in the metrics registry."""
+        if self.metrics is not None:
+            self.metrics.inc("fused_decode_filter_kernels")
+            self.metrics.inc("fused_decode_filter_rows", rows)
+
+    def column_values_filtered(
+        self, name: str, tile_active: np.ndarray, predicate
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Fused late-materialized load: decode + filter in one pass.
+
+        Like :meth:`column_values_pruned` but evaluates ``predicate``
+        *during* unpack via the codec's ``decode_filter_tiles_into``,
+        returning ``(values, rowmask)`` where ``rowmask`` marks the
+        qualifying rows over the whole span.  Values are only meaningful
+        where the mask is True.  Returns ``(values, None)`` — caller
+        must evaluate the predicate itself — whenever fusion cannot
+        apply: uncompressed columns, cached full decoded images (reusing
+        them beats re-decoding), or checksummed columns under active
+        verification (see :meth:`fusion_allowed`).
+        """
+        col = self.store[name]
+        if not self.column_inline(name):
+            return col.values, None
+        enc = col.payload
+        if not self.fusion_allowed(enc):
+            return self.column_values_pruned(name, tile_active), None
+        # A cached full image is strictly better than any re-decode.
+        if self.pool is not None:
+            if self.pool.lookup(f"decoded/{name}") is not None:
+                return self.pool.get(f"decoded/{name}").payload, None
+        else:
+            cached = self._decoded_cache.get(name)
+            if cached is not None:
+                return cached, None
+        tile_active = np.asarray(tile_active, dtype=bool)
+        codec = get_codec(col.codec_name)
+        assert isinstance(codec, TileCodec)
+        idx = self._active_codec_tiles(codec, enc, tile_active)
+        out = np.zeros(enc.count, dtype=np.int64)
+        rowmask = np.zeros(enc.count, dtype=np.bool_)
+        if idx.size:
+            elems = codec.tile_elements(enc)
+            cap = idx.size * elems
+            vals = np.empty(cap, dtype=np.int64)
+            vmask = np.empty(cap, dtype=np.bool_)
+            with corruption_guard(name):
+                written = codec.decode_filter_tiles_into(
+                    enc, idx, predicate, vals, vmask
+                )
+            lens = np.minimum((idx + 1) * elems, enc.count) - idx * elems
+            pos = np.repeat(idx * elems, lens) + ragged_arange(lens)
+            out[pos] = vals[:written]
+            rowmask[pos] = vmask[:written]
+            self.count_fused_kernel(written)
+        return out, rowmask
 
     def _active_codec_tiles(
         self, codec: TileCodec, enc, tile_active: np.ndarray
@@ -602,7 +682,61 @@ class CrystalEngine:
             self._stream_executor = executor
         groups = executor.execute(query)
         self.last_stream_stats = executor.last_stats
+        self._account_stream_arenas()
         return groups
+
+    def trim_stream_arenas(self, max_bytes: int = 0) -> int:
+        """Release streaming decode-arena scratch down to ``max_bytes``.
+
+        Worker arenas grow to the largest column chunk ever decoded and
+        otherwise hold that memory forever; serving layers call this
+        between query bursts (or the pool does, on eviction of the
+        accounting resident) to give it back.  Returns bytes released.
+        """
+        executor = self._stream_executor
+        if executor is None:
+            return 0
+        released = executor.trim_arenas(max_bytes)
+        if released:
+            self._account_stream_arenas()
+        return released
+
+    def _account_stream_arenas(self) -> None:
+        """Mirror worker-arena scratch bytes into the serving pool budget.
+
+        The arenas are working memory, not cache, but they occupy the
+        same device budget as pool residents — so they are accounted as
+        a payload-less resident whose ``release`` callback trims them.
+        Under memory pressure the pool evicts the entry, the callback
+        frees the scratch, and the budget is truthful again.
+        """
+        if self.pool is None or self._stream_executor is None:
+            return
+        from repro.serving.pool import PoolAdmissionError
+
+        key = "scratch/stream-arenas"
+        nbytes = self._stream_executor.peak_decoded_bytes
+        if nbytes <= 0:
+            self.pool.invalidate(key)
+            return
+        try:
+            self.pool.admit(
+                key,
+                nbytes,
+                kind="scratch",
+                payload=None,
+                release=self._release_stream_arenas,
+            )
+        except PoolAdmissionError:
+            # Scratch larger than the whole budget: trim immediately
+            # rather than carry unaccounted memory.
+            self._stream_executor.trim_arenas(0)
+
+    def _release_stream_arenas(self) -> None:
+        """Pool eviction hook: free arena scratch, no pool re-entry."""
+        executor = self._stream_executor
+        if executor is not None:
+            executor.trim_arenas(0)
 
     def run(self, query: "SSBQuery") -> QueryResult:
         """Execute one SSB query and report its simulated time."""
@@ -675,6 +809,12 @@ class FactPipeline:
         self._decode_regs = 0
         self._smem = 0
         self._cols_loaded = 0
+        # Single-column pushdown conjuncts by column name: candidates for
+        # fused decode+filter when that column is loaded.  A load that
+        # fused one moves it to _fused_preds so the later exact
+        # filter_predicate call skips the (now redundant) re-evaluation.
+        self._pushdown_preds: dict[str, ColumnPredicate] = {}
+        self._fused_preds: dict[str, ColumnPredicate] = {}
 
     # -- operators -----------------------------------------------------------
 
@@ -734,6 +874,26 @@ class FactPipeline:
         else:
             self._extra_regs += D_PER_THREAD
             self._compute += active_rows  # BlockLoad index arithmetic
+
+        # Fused decode+filter: a pushdown conjunct on this column is
+        # evaluated during unpack, so non-qualifying rows of surviving
+        # tiles never materialize.  The fused mask is ANDed immediately
+        # (its rows are provably dead under the query's WHERE — pushdown
+        # conjuncts are necessary conditions); pricing of the filter step
+        # stays with the matching filter_predicate call, which sees the
+        # identical post-AND selection either way.
+        pred = self._pushdown_preds.get(name)
+        if (
+            pred is not None
+            and name not in self._fused_preds
+            and engine.column_inline(name)
+        ):
+            values, rowmask = self._column_slice_filtered(name, pred)
+            if rowmask is not None:
+                self.mask &= rowmask
+                self._fused_preds[name] = pred
+                return values
+            return values
         return self._column_slice(name)
 
     def _tile_read_bytes(self, name: str) -> np.ndarray:
@@ -743,6 +903,18 @@ class FactPipeline:
     def _column_slice(self, name: str) -> np.ndarray:
         """The decoded values :meth:`load` returns over this span."""
         return self.engine.column_values_pruned(name, self.tile_active)
+
+    def _column_slice_filtered(
+        self, name: str, predicate: ColumnPredicate
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Fused decode+filter load over this span (overridable).
+
+        Returns ``(values, rowmask)``; a ``None`` rowmask means fusion
+        could not apply (cached image, checksummed column under active
+        verification, ...) and the caller must evaluate the predicate
+        itself on the returned values.
+        """
+        return self.engine.column_values_filtered(name, self.tile_active, predicate)
 
     def filter_pushdown(self, predicate: "ColumnPredicate | And | None") -> int:
         """Prune tiles from codec bounds before any column is loaded.
@@ -770,6 +942,7 @@ class FactPipeline:
         engine = self.engine
         before = int(self.tile_active.sum())
         for pred in preds:
+            self._pushdown_preds[pred.column] = pred
             mins, maxs = engine.column_tile_bounds(pred.column)
             self.tile_active &= pred.tile_may_match(mins, maxs)
             # Zone-map metadata scan: two bound words plus one interval
@@ -806,6 +979,13 @@ class FactPipeline:
         values = np.asarray(values)
         if values.shape != (self.n,):
             raise ValueError("filter values must cover every fact row")
+        if self._fused_preds.get(predicate.column) == predicate:
+            # This exact conjunct was already evaluated inside the fused
+            # decode of its column and ANDed into the mask at load time;
+            # only the filter step's accounting remains.
+            self._fused_preds.pop(predicate.column)
+            self._after_mask_update()
+            return
         live = self.live_count
         if live * 2 < self.n:
             self.mask[self.mask] = predicate.row_mask(values[self.mask])

@@ -29,10 +29,17 @@ __all__ = [
     "And",
     "ColumnPredicate",
     "Equals",
+    "INT64_MAX",
+    "INT64_MIN",
     "InSet",
     "Range",
     "column_predicates",
 ]
+
+
+#: Inclusive int64 domain bounds, used when an interval is half-open.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
 
 
 class ColumnPredicate:
@@ -44,6 +51,17 @@ class ColumnPredicate:
     def row_mask(self, values: np.ndarray) -> np.ndarray:
         """Exact boolean mask over decoded ``values``."""
         raise NotImplementedError
+
+    def as_interval(self) -> tuple[int, int] | None:
+        """The predicate as one inclusive ``(lo, hi)`` interval, if it is one.
+
+        Fused decode+filter kernels duck-type on this (codecs must not
+        import the engine): an interval test can run in a codec's shifted
+        domain before the frame-of-reference is added back.  ``None``
+        means "not an interval" — the caller falls back to
+        :meth:`row_mask` over materialized values.
+        """
+        return None
 
     def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
         """Conservative per-tile test against inclusive bounds.
@@ -84,6 +102,12 @@ class Range(ColumnPredicate):
             may &= mins <= self.hi
         return may
 
+    def as_interval(self) -> tuple[int, int]:
+        return (
+            INT64_MIN if self.lo is None else int(self.lo),
+            INT64_MAX if self.hi is None else int(self.hi),
+        )
+
 
 @dataclass(frozen=True)
 class Equals(ColumnPredicate):
@@ -97,6 +121,9 @@ class Equals(ColumnPredicate):
 
     def tile_may_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
         return (mins <= self.value) & (self.value <= maxs)
+
+    def as_interval(self) -> tuple[int, int]:
+        return (int(self.value), int(self.value))
 
 
 @dataclass(frozen=True)

@@ -160,8 +160,19 @@ class _MorselPipeline(FactPipeline):
     def filter_pushdown(self, predicate) -> int:
         # Bounds were consulted once, globally, in the plan pass; the
         # morsel already inherited the surviving tile set in __init__.
+        # Single-column conjuncts are still recorded: a later load of
+        # that column fuses the filter into its decode.
         self._check_open()
+        if self.engine.pushdown:
+            for pred in column_predicates(predicate):
+                self._pushdown_preds[pred.column] = pred
         return int(np.count_nonzero(~self.tile_active))
+
+    def _column_slice_filtered(self, name, predicate):
+        m = self._morsel
+        return self._executor.decode_slice(
+            name, m, self.tile_active, predicate=predicate
+        )
 
     def finish(self) -> None:
         # Partial pipelines never launch; the executor prices the one
@@ -318,20 +329,49 @@ class TileStreamExecutor:
 
     @property
     def peak_decoded_bytes(self) -> int:
-        """Bytes held across every worker's arena (buffers only grow, so
-        this is also the peak decoded-intermediate footprint)."""
+        """Bytes held across every worker's arena (buffers only grow
+        between :meth:`trim_arenas` calls, so this is also the peak
+        decoded-intermediate footprint since the last trim)."""
         with self._arena_lock:
             return sum(a.resident_bytes for a in self._arenas)
 
+    def trim_arenas(self, max_bytes: int = 0) -> int:
+        """Release worker arena scratch down to ``max_bytes`` total.
+
+        Arena buffers grow to the largest chunk ever decoded and are
+        otherwise held forever; serving layers call this between query
+        bursts to return the memory.  The budget is split evenly across
+        workers (each arena trims to its share, largest buffers first).
+        Safe against concurrent morsels: buffers a worker borrowed stay
+        valid, only the arena's references are dropped.  Returns the
+        number of bytes released.
+        """
+        with self._arena_lock:
+            arenas = list(self._arenas)
+        if not arenas:
+            return 0
+        share = max(0, max_bytes) // len(arenas)
+        return sum(arena.trim(share) for arena in arenas)
+
     def decode_slice(
-        self, name: str, morsel: Morsel, tile_active: np.ndarray
-    ) -> np.ndarray:
+        self,
+        name: str,
+        morsel: Morsel,
+        tile_active: np.ndarray,
+        predicate=None,
+    ):
         """Decode one column's chunk for a morsel into the worker's arena.
 
         Covers the codec tiles overlapping ``[row_lo, row_hi)``; codec
         tiles whose engine tiles were all pruned stay zero-filled (their
         rows are dead in the morsel's mask by construction).  Returns a
         view of exactly the morsel's rows.
+
+        With a ``predicate``, the filter is fused into the decode via the
+        codec's ``decode_filter_tiles_into`` and the return value becomes
+        ``(values, rowmask)`` views — or ``(values, None)`` when fusion
+        cannot apply (checksummed column under active verification), in
+        which case the caller evaluates the predicate itself.
         """
         col = self.engine.store[name]
         if self.engine.fault_hook is not None:
@@ -339,6 +379,9 @@ class TileStreamExecutor:
         codec = get_codec(col.codec_name)
         assert isinstance(codec, TileCodec)
         enc = col.payload
+        want_mask = predicate is not None
+        if want_mask and not self.engine.fusion_allowed(enc):
+            predicate = None
         elems = codec.tile_elements(enc)
         r0, r1 = morsel.row_lo, morsel.row_hi
         c0 = r0 // elems
@@ -347,20 +390,19 @@ class TileStreamExecutor:
         cap = (c1 - c0) * elems
         buf = arena.scratch(name, cap)
         view = buf[:cap]
-        active = self._codec_tile_activity(tile_active, elems, c0, c1, morsel.tile_lo)
+        mask_buf = None
+        if predicate is not None:
+            mask_buf = arena.scratch(f"mask/{name}", cap, dtype=np.bool_)
         try:
             with corruption_guard(name):
-                if active.all():
-                    codec.decode_range_into(enc, c0, c1, view)
-                else:
-                    view[:] = 0
-                    for lo, hi in _mask_runs(active):
-                        # Chunks before the column's final tile are always
-                        # full, so each run's values land exactly at its
-                        # tile offset.
-                        codec.decode_tiles_into(
-                            enc, np.arange(c0 + lo, c0 + hi), view[lo * elems :]
-                        )
+                self._decode_chunk(
+                    codec, enc, c0, c1, elems, view,
+                    self._codec_tile_activity(
+                        tile_active, elems, c0, c1, morsel.tile_lo
+                    ),
+                    predicate,
+                    None if mask_buf is None else mask_buf[:cap],
+                )
         except CorruptTileError as exc:
             # Re-raise with the owning morsel span so the coordinator
             # (and the client) can see exactly which slice of which
@@ -371,7 +413,48 @@ class TileStreamExecutor:
                 f"{exc.reason} [morsel {morsel.index}: engine tiles "
                 f"{morsel.tile_lo}..{morsel.tile_hi}, rows {r0}..{r1}]",
             ) from exc
-        return buf[r0 - c0 * elems : r0 - c0 * elems + (r1 - r0)]
+        off = r0 - c0 * elems
+        vals = buf[off : off + (r1 - r0)]
+        if want_mask:
+            if mask_buf is None:
+                return vals, None
+            return vals, mask_buf[off : off + (r1 - r0)]
+        return vals
+
+    def _decode_chunk(
+        self, codec, enc, c0, c1, elems, view, active, predicate, mview
+    ) -> None:
+        """Decode codec tiles [c0, c1) into ``view``, plain or fused."""
+        if predicate is None:
+            if active.all():
+                codec.decode_range_into(enc, c0, c1, view)
+            else:
+                view[:] = 0
+                for lo, hi in _mask_runs(active):
+                    # Chunks before the column's final tile are always
+                    # full, so each run's values land exactly at its
+                    # tile offset.
+                    codec.decode_tiles_into(
+                        enc, np.arange(c0 + lo, c0 + hi), view[lo * elems :]
+                    )
+            return
+        fused_rows = 0
+        if active.all():
+            fused_rows = codec.decode_filter_tiles_into(
+                enc, np.arange(c0, c1), predicate, view, mview
+            )
+        else:
+            view[:] = 0
+            mview[:] = False
+            for lo, hi in _mask_runs(active):
+                fused_rows += codec.decode_filter_tiles_into(
+                    enc,
+                    np.arange(c0 + lo, c0 + hi),
+                    predicate,
+                    view[lo * elems :],
+                    mview[lo * elems :],
+                )
+        self.engine.count_fused_kernel(fused_rows)
 
     def _codec_tile_activity(
         self,

@@ -39,6 +39,13 @@ from repro.formats.gpurfor import GpuRFor
 from repro.formats.nsf import Nsf
 from repro.formats.nsv import Nsv
 from repro.formats.io import load_encoded, save_encoded
+from repro.formats.kernels import (
+    BACKEND_NAMES,
+    backend_name,
+    capability_report,
+    get_backend,
+    set_backend,
+)
 from repro.formats.registry import codec_names, get_codec, is_tile_codec
 from repro.formats.strings import (
     EncodedStringColumn,
@@ -58,8 +65,13 @@ from repro.formats.vbyte import GpuVByte
 from repro.formats.simdbp128 import GpuSimdBp128
 
 __all__ = [
+    "BACKEND_NAMES",
     "CascadePass",
     "ColumnCodec",
+    "backend_name",
+    "capability_report",
+    "get_backend",
+    "set_backend",
     "Delta",
     "Dict",
     "EncodedColumn",

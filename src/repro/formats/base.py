@@ -18,6 +18,7 @@ from __future__ import annotations
 import abc
 import contextlib
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import ClassVar
@@ -318,6 +319,46 @@ def require_out_buffer(out: np.ndarray, needed: int) -> None:
         )
 
 
+def require_mask_buffer(mask: np.ndarray, needed: int) -> None:
+    """Validate a caller-provided fused-filter mask buffer.
+
+    Fused decode+filter (:meth:`TileCodec.decode_filter_tiles_into`)
+    writes one bool per decoded element, with the same padded-batch
+    capacity contract as :func:`require_out_buffer`.
+    """
+    if not isinstance(mask, np.ndarray) or mask.dtype != np.bool_ or mask.ndim != 1:
+        raise ValueError("mask buffer must be a 1-D bool ndarray")
+    if not mask.flags.c_contiguous:
+        raise ValueError("mask buffer must be C-contiguous")
+    if mask.size < needed:
+        raise ValueError(
+            f"mask buffer holds {mask.size} elements, need {needed}"
+        )
+
+
+def predicate_interval(predicate) -> tuple[int, int] | None:
+    """``predicate.as_interval()`` via duck typing (codecs cannot import
+    the engine's predicate IR); ``None`` when the predicate is not a
+    single inclusive interval."""
+    fn = getattr(predicate, "as_interval", None)
+    if fn is None:
+        return None
+    return fn()
+
+
+def clamp_interval(lo: int, hi: int, bound: int = 2**34) -> tuple[int, int]:
+    """Clamp query bounds into a codec's comparable value domain.
+
+    Every tile codec stores values as ``int32 reference + uint32 diff``,
+    so decodable values lie strictly inside ``(-2**33, 2**33)``; clamping
+    ``[lo, hi]`` to ``[-bound, bound]`` preserves every comparison while
+    keeping the shifted-domain thresholds ``lo - reference`` /
+    ``hi - reference`` free of int64 overflow (``Range`` encodes open
+    bounds as the full int64 extremes).
+    """
+    return max(int(lo), -bound), min(int(hi), bound)
+
+
 def compact_tile_chunks_inplace(
     out: np.ndarray, chunk_lens: np.ndarray, keep_lens: np.ndarray
 ) -> int:
@@ -345,35 +386,70 @@ def compact_tile_chunks_inplace(
 
 
 class DecodeArena:
-    """Reusable int64 decode scratch — one buffer per column slot.
+    """Reusable decode scratch — one buffer per column slot.
 
     The allocation-free decode path's backing store: a morsel worker asks
     for ``scratch(column, capacity)`` and gets the same buffer back on
     every subsequent morsel (grown monotonically to the largest request),
     so steady-state streaming decodes allocate nothing.  One arena serves
-    one worker thread; arenas are never shared across threads.
+    one worker thread; only :meth:`trim` may be called from another
+    thread (the pool's eviction hook), so the buffer map itself is
+    lock-protected — a trimmed-away buffer still borrowed by its worker
+    stays valid (NumPy refcounting) and is simply re-allocated on the
+    next request.
     """
 
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
+        self._map_lock = threading.Lock()
 
-    def scratch(self, key: str, elements: int) -> np.ndarray:
-        """A reusable int64 buffer of at least ``elements`` for ``key``."""
+    def scratch(self, key: str, elements: int, dtype=np.int64) -> np.ndarray:
+        """A reusable ``dtype`` buffer of at least ``elements`` for ``key``."""
         if elements < 0:
             raise ValueError(f"elements must be non-negative, got {elements}")
-        buf = self._buffers.get(key)
-        if buf is None or buf.size < elements:
-            buf = np.empty(max(elements, 1), dtype=np.int64)
-            self._buffers[key] = buf
-        return buf
+        dtype = np.dtype(dtype)
+        with self._map_lock:
+            buf = self._buffers.get(key)
+            if buf is None or buf.size < elements or buf.dtype != dtype:
+                buf = np.empty(max(elements, 1), dtype=dtype)
+                self._buffers[key] = buf
+            return buf
 
     @property
     def resident_bytes(self) -> int:
         """Bytes currently held across every scratch buffer."""
-        return sum(b.nbytes for b in self._buffers.values())
+        with self._map_lock:
+            return sum(b.nbytes for b in self._buffers.values())
+
+    def trim(self, max_bytes: int = 0) -> int:
+        """Release scratch until at most ``max_bytes`` remain resident.
+
+        The idle-release hook for long-running servers (per-worker arenas
+        otherwise pin their peak scratch forever).  Largest buffers go
+        first; returns the number of bytes released.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        released = 0
+        with self._map_lock:
+            if max_bytes == 0:
+                released = sum(b.nbytes for b in self._buffers.values())
+                self._buffers.clear()
+                return released
+            resident = sum(b.nbytes for b in self._buffers.values())
+            by_size = sorted(
+                self._buffers, key=lambda k: self._buffers[k].nbytes, reverse=True
+            )
+            for key in by_size:
+                if resident <= max_bytes:
+                    break
+                nbytes = self._buffers.pop(key).nbytes
+                resident -= nbytes
+                released += nbytes
+        return released
 
     def clear(self) -> None:
-        self._buffers.clear()
+        self.trim(0)
 
 
 def trim_tile_chunks(
@@ -665,6 +741,44 @@ class TileCodec(ColumnCodec):
         return self.decode_tiles_into(
             enc, np.arange(first_tile, last_tile), out
         )
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        """Fused decode+filter: unpack tiles and evaluate one predicate.
+
+        Writes the tiles' values into ``out`` and the predicate's row
+        mask into ``mask`` (same compaction, same return value as
+        :meth:`decode_tiles_into`).  ``predicate`` is any object with a
+        ``row_mask(values)`` method — the engine's single-column
+        predicate IR; when it also exposes ``as_interval()`` the codec
+        overrides evaluate the test *during* unpack, in the shifted
+        (reference-relative) domain where the format allows, and may
+        skip unpacking blocks whose header bounds already fail.
+
+        **Contract:** ``out[i]`` is only meaningful where
+        ``mask[i]`` is True — skipped blocks leave unspecified
+        (zero-filled) values — and checksum verification only covers
+        fully-materialized decodes, so engines route columns that carry
+        checksum tables through the plain decode path unless
+        verification is off.  This base implementation fully decodes and
+        then evaluates ``row_mask``, making it the oracle the fused
+        overrides are tested against.
+        """
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        needed = tiles.size * self.tile_elements(enc)
+        require_out_buffer(out, needed)
+        require_mask_buffer(mask, needed)
+        if tiles.size == 0:
+            return 0
+        written = self.decode_tiles_into(enc, tiles, out)
+        mask[:written] = predicate.row_mask(out[:written])
+        return written
 
     def bounds_elements(self, enc: EncodedColumn) -> int:
         """Bounds granularity: one entry per decode tile."""

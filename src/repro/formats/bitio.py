@@ -6,13 +6,18 @@ values (Figure 4 of the paper).  The layout is *horizontal*: subsequent
 values occupy subsequent bit positions, LSB-first within each word, exactly
 like the CUDA implementation's ``(word >> start_bit) & mask`` extraction.
 
-Everything here is vectorized NumPy; these functions are the shared
-foundation of GPU-FOR, GPU-DFOR, GPU-RFOR, GPU-BP and GPU-SIMDBP128.
+These functions are the shared foundation of GPU-FOR, GPU-DFOR,
+GPU-RFOR, GPU-BP and GPU-SIMDBP128.  They validate arguments and then
+dispatch to the active :mod:`repro.formats.kernels` backend (reference
+NumPy, precompiled shift-table, or optional numba JIT) — all backends
+are bit-identical by contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.formats import kernels
 
 #: Word size of the packed stream, in bits.
 WORD_BITS = 32
@@ -20,11 +25,14 @@ WORD_BITS = 32
 MAX_BITS = 32
 
 
-def required_bits(values: np.ndarray) -> int:
+def required_bits(values: np.ndarray, max_bits: int | None = MAX_BITS) -> int:
     """Minimum bitwidth ``b`` so every value fits in ``[0, 2**b)``.
 
     An empty array needs 0 bits.  Raises on negative input — callers apply
-    frame-of-reference first, which makes values non-negative.
+    frame-of-reference first, which makes values non-negative.  Values too
+    wide to pack raise here, naming the offending value, instead of
+    surfacing later as an opaque ``pack_bits`` bitwidth error far from the
+    cause; pass ``max_bits=None`` (or a larger cap) to get the raw width.
     """
     values = np.asarray(values)
     if values.size == 0:
@@ -33,7 +41,13 @@ def required_bits(values: np.ndarray) -> int:
     if lo < 0:
         raise ValueError(f"bit-packing needs non-negative values, got min {lo}")
     hi = int(values.max())
-    return hi.bit_length()
+    width = hi.bit_length()
+    if max_bits is not None and width > max_bits:
+        raise ValueError(
+            f"value {hi} needs {width} bits, above the packable maximum "
+            f"of {max_bits}"
+        )
+    return width
 
 
 def words_needed(count: int, bits: int) -> int:
@@ -73,33 +87,10 @@ def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
     # to and sat one step from undefined behaviour at width 63).
     if np.any(values >> np.uint64(bits)):
         raise ValueError(f"values do not fit in {bits} bits")
-
-    # Value i starts at stream bit i*bits, i.e. bit (i*bits % 32) of word
-    # i*bits // 32, and with bits <= 32 it straddles at most that word and
-    # the next.  As in :func:`unpack_bits`, the start offsets repeat with
-    # period P = 32/gcd(bits, 32) and within one phase the word index
-    # advances by the constant stride S = bits/gcd(bits, 32): each phase
-    # is one strided OR of ``value << scalar_shift`` into a 64-bit
-    # accumulator indexed by word.  In-phase values sit exactly S words
-    # apart, so a phase never writes the same word twice.  The low half
-    # of ``acc[w]`` is word ``w``; the high half is its spill into word
-    # ``w + 1``.  (The previous implementation exploded every value into
-    # 64 bit-bytes via np.unpackbits — 64x the traffic of the packed
-    # stream — and dominated encode profiles.)
-    nwords = words_needed(n, bits)
-    acc = np.zeros(nwords, dtype=np.uint64)
-    g = np.gcd(bits, WORD_BITS)
-    period = WORD_BITS // g
-    stride = bits // g
-    for p in range(min(period, n)):
-        n_p = -(-(n - p) // period)  # values in phase p
-        w0 = (p * bits) >> 5
-        acc[w0::stride][:n_p] |= values[p::period] << np.uint64((p * bits) & 31)
-    out = acc.astype(np.uint32)  # truncation keeps the low word
-    # The final word's spill is provably zero (every value fits inside
-    # the nwords*32-bit stream), so shifting acc[:-1] covers all of it.
-    out[1:] |= (acc[:-1] >> np.uint64(32)).astype(np.uint32)
-    return out
+    # The packing algorithm lives in the kernel backend (the reference
+    # phase-loop implementation is kernels/numpy_ref.py); arguments are
+    # fully validated above, so backends skip re-checking.
+    return kernels.get_backend().pack(values, bits)
 
 
 def unpack_bits(words: np.ndarray, count: int, bits: int) -> np.ndarray:
@@ -123,43 +114,101 @@ def unpack_bits(words: np.ndarray, count: int, bits: int) -> np.ndarray:
     needed = words_needed(count, bits)
     if words.size < needed:
         raise ValueError(f"stream has {words.size} words, need {needed}")
+    # The extraction algorithm lives in the kernel backend; the stream is
+    # contiguous uint32 and large enough by the checks above.
+    return kernels.get_backend().unpack(words, count, bits)
 
-    # Value i occupies bits [i*bits, (i+1)*bits) of the stream, so with
-    # bits <= 32 it straddles at most two adjacent words.  View the
-    # stream as overlapping 64-bit windows (stride 4 bytes); window w
-    # holds words w and w+1, so value i is `(windows[i*bits//32] >>
-    # (i*bits % 32)) & mask` — the CUDA kernel's extraction.
-    #
-    # The bit offsets i*bits mod 32 repeat with period P = 32/gcd(bits,
-    # 32), and within one phase the window index advances by the
-    # constant stride S = bits/gcd(bits, 32).  Each phase is therefore a
-    # plain strided slice with a *scalar* shift: P slice-shift-mask
-    # passes replace per-value index arrays and a 16M-wide gather.
-    w = np.empty(needed + 1, dtype=np.uint32)
-    w[:needed] = words[:needed]
-    w[needed] = 0  # high-word sentinel for the final value
-    windows = np.ndarray(
-        shape=(needed,), dtype=np.uint64, buffer=w.data, strides=(4,)
+
+def unpack_bits_strided(
+    data: np.ndarray,
+    first_word: int,
+    n_blocks: int,
+    payload_words: int,
+    stride_words: int,
+    count_per_block: int,
+    bits: int,
+) -> np.ndarray:
+    """Unpack ``n_blocks`` equal word-aligned payloads at a fixed stride.
+
+    The regular-geometry decode path of the block codecs: payload ``i``
+    starts at word ``first_word + i*stride_words`` of ``data`` and holds
+    ``count_per_block`` values of ``bits`` bits in exactly
+    ``payload_words`` words (``count_per_block * bits`` must be a
+    multiple of 32, true for every block geometry here).  Replaces the
+    per-block fancy-indexed word gather with one contiguous unpack.
+    """
+    data = _validate_strided(
+        data, first_word, n_blocks, payload_words, stride_words, count_per_block, bits
     )
-    # Truncating to uint32 drops window bits >= 32; the mask (which fits
-    # uint32 for every bits <= 32) then drops bits >= `bits`.
-    mask = np.uint32((1 << bits) - 1)
-    if count < 4096:
-        # Small batch: one fancy-indexed gather beats paying the slice
-        # setup once per phase.
-        pos = np.arange(count, dtype=np.int64) * bits
-        shift = (pos & 31).astype(np.uint64)
-        return (windows[pos >> 5] >> shift).astype(np.uint32) & mask
-    g = np.gcd(bits, WORD_BITS)
-    period = WORD_BITS // g
-    stride = bits // g
-    out = np.empty(count, dtype=np.uint32)
-    for p in range(min(period, count)):
-        n_p = -(-(count - p) // period)  # values in phase p
-        phase = windows[(p * bits) >> 5 :: stride][:n_p]
-        out[p::period] = (phase >> np.uint64((p * bits) & 31)).astype(np.uint32)
-    out &= mask
-    return out
+    return kernels.get_backend().unpack_strided(
+        data, first_word, n_blocks, payload_words, stride_words, count_per_block, bits
+    )
+
+
+def unpack_bits_strided_into(
+    data: np.ndarray,
+    first_word: int,
+    n_blocks: int,
+    payload_words: int,
+    stride_words: int,
+    count_per_block: int,
+    bits: int,
+    out: np.ndarray,
+) -> None:
+    """:func:`unpack_bits_strided` writing straight into ``out``.
+
+    ``out`` is a 1-D integer buffer of at least ``n_blocks *
+    count_per_block`` elements (the block codecs pass their int64 decode
+    scratch); skipping the intermediate uint32 array halves the memory
+    traffic at byte-aligned widths.
+    """
+    data = _validate_strided(
+        data, first_word, n_blocks, payload_words, stride_words, count_per_block, bits
+    )
+    total = n_blocks * count_per_block
+    if out.ndim != 1 or out.size < total or out.dtype.kind not in "iu":
+        raise ValueError(
+            f"out must be a 1-D integer buffer of >= {total} elements, "
+            f"got shape {out.shape} dtype {out.dtype}"
+        )
+    kernels.get_backend().unpack_strided_into(
+        data,
+        first_word,
+        n_blocks,
+        payload_words,
+        stride_words,
+        count_per_block,
+        bits,
+        out,
+    )
+
+
+def _validate_strided(
+    data: np.ndarray,
+    first_word: int,
+    n_blocks: int,
+    payload_words: int,
+    stride_words: int,
+    count_per_block: int,
+    bits: int,
+) -> np.ndarray:
+    if not 1 <= bits <= MAX_BITS:
+        raise ValueError(f"bits must be in [1, {MAX_BITS}], got {bits}")
+    if payload_words != words_needed(count_per_block, bits) or (
+        count_per_block * bits
+    ) % WORD_BITS:
+        raise ValueError(
+            f"payload of {payload_words} words does not hold exactly "
+            f"{count_per_block} word-aligned values of {bits} bits"
+        )
+    if n_blocks < 0 or stride_words < payload_words:
+        raise ValueError(f"invalid n_blocks={n_blocks} or stride={stride_words}")
+    if n_blocks and (
+        first_word < 0
+        or first_word + (n_blocks - 1) * stride_words + payload_words > data.size
+    ):
+        raise ValueError("strided payloads overrun the data array")
+    return np.asarray(data, dtype=np.uint32)
 
 
 def pack_vertical(values: np.ndarray, bits: int, lanes: int) -> np.ndarray:

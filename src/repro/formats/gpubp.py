@@ -21,9 +21,12 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    clamp_interval,
     compact_tile_chunks_inplace,
     exact_tile_bounds,
+    predicate_interval,
     ragged_arange,
+    require_mask_buffer,
     require_out_buffer,
     trim_tile_chunks,
 )
@@ -230,6 +233,20 @@ class GpuBp(TileCodec):
         else:
             require_out_buffer(out, n * BLOCK)
             decoded = out[: n * BLOCK].reshape(n, BLOCK)
+        # Regular-geometry fast path: one shared bitwidth over physically
+        # consecutive blocks means equal payloads at a constant stride —
+        # one contiguous unpack instead of a per-block word gather.
+        b0 = int(bits[0])
+        if b0 and bool((bits == b0).all()):
+            payload = b0 * BLOCK // 32
+            stride = payload + _HEADER_WORDS
+            if n == 1 or bool((np.diff(bstarts) == stride).all()):
+                flat = decoded.reshape(-1)
+                bitio.unpack_bits_strided_into(
+                    data, int(bstarts[0]) + _HEADER_WORDS, n,
+                    payload, stride, BLOCK, b0, flat,
+                )
+                return flat
         for b in np.unique(bits):
             sel = np.flatnonzero(bits == b)
             if b == 0:
@@ -241,3 +258,85 @@ class GpuBp(TileCodec):
             vals = bitio.unpack_bits(words, sel.size * BLOCK, int(b))
             decoded[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)
         return decoded.reshape(-1)
+
+    def _decode_filter_block_indices(
+        self,
+        enc: EncodedColumn,
+        blocks: np.ndarray,
+        lo: int,
+        hi: int,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Fused decode+filter core: interval test during unpack.
+
+        GPU-BP stores raw magnitudes (no reference), so the interval is
+        tested directly; blocks whose header bitwidth already proves
+        ``[0, 2**b - 1]`` misses ``[lo, hi]`` are skipped (zero-filled,
+        mask False).  Returns the per-block active flags.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        n = blocks.size
+        if n == 0:
+            return np.ones(0, dtype=bool)
+        bstarts = enc.arrays["block_starts"].astype(np.int64)[blocks]
+        data = enc.arrays["data"]
+        bits = data[bstarts].astype(np.int64)
+        block_hi = (np.int64(1) << bits) - np.int64(1)
+        active = (block_hi >= lo) & (hi >= 0)
+        decoded = out[: n * BLOCK].reshape(n, BLOCK)
+        if bool(active.all()):
+            self._decode_block_indices(enc, blocks, out=out)
+        else:
+            decoded[np.flatnonzero(~active)] = 0
+            for b in np.unique(bits[active]):
+                sel = np.flatnonzero(active & (bits == b))
+                if b == 0:
+                    decoded[sel] = 0
+                    continue
+                words_per = int(b) * BLOCK // 32
+                src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per)
+                words = data[src.reshape(-1)]
+                vals = bitio.unpack_bits(words, sel.size * BLOCK, int(b))
+                decoded[sel] = vals.reshape(sel.size, BLOCK).astype(np.int64)
+        # Skipped blocks hold zeros; when a block is inactive its interval
+        # misses [0, 2**b - 1] entirely (so 0 tests False) — except the
+        # degenerate hi < 0 case, which the lo <= value leg handles since
+        # then lo <= hi < 0 <= 0.  Either way no special-casing needed.
+        m2 = mask[: n * BLOCK].reshape(n, BLOCK)
+        np.greater_equal(decoded, np.int64(max(lo, 0)), out=m2)
+        m2 &= decoded <= np.int64(hi)
+        return active
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        interval = predicate_interval(predicate)
+        if interval is None:
+            return super().decode_filter_tiles_into(
+                enc, tile_indices, predicate, out, mask
+            )
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * BLOCK)
+        require_mask_buffer(mask, tiles.size * d * BLOCK)
+        if tiles.size == 0:
+            return 0
+        self.validate_for_decode(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        lo, hi = clamp_interval(*interval)
+        active = self._decode_filter_block_indices(enc, blocks, lo, hi, out, mask)
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        written = compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        compact_tile_chunks_inplace(mask, nb * BLOCK, keep)
+        if bool(active.all()):
+            self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written

@@ -27,6 +27,8 @@ from repro.formats.base import (
     KernelResources,
     TileCodec,
     compact_tile_chunks_inplace,
+    predicate_interval,
+    require_mask_buffer,
     require_out_buffer,
     trim_tile_chunks,
 )
@@ -209,6 +211,53 @@ class GpuDFor(TileCodec):
         written = compact_tile_chunks_inplace(
             out, np.full(tiles.size, tile, dtype=np.int64), keep
         )
+        self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        """Fused decode+filter for GPU-DFOR.
+
+        Deltas are not in the value domain, so the interval cannot be
+        tested before the prefix sum; instead the predicate is evaluated
+        in the same pass, on the padded tile matrix right after the scan
+        and first-value add — one sweep while the tile is hot, no second
+        full-column pass.  Values are always fully materialized, so
+        checksum verification is preserved.
+        """
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        tile = d * BLOCK
+        require_out_buffer(out, tiles.size * tile)
+        require_mask_buffer(mask, tiles.size * tile)
+        if tiles.size == 0:
+            return 0
+        self.validate_for_decode(enc)
+        blocks = (tiles[:, None] * d + np.arange(d)).reshape(-1)
+        deltas = unpack_block_indices(
+            enc.arrays["data"], enc.arrays["block_starts"], blocks, out=out
+        ).reshape(tiles.size, tile)
+        np.cumsum(deltas, axis=1, out=deltas)
+        deltas += enc.arrays["first_values"].astype(np.int64)[tiles, None]
+        padded = out[: tiles.size * tile]
+        m2 = mask[: tiles.size * tile]
+        interval = predicate_interval(predicate)
+        if interval is None:
+            m2[:] = predicate.row_mask(padded)
+        else:
+            lo, hi = interval
+            np.greater_equal(padded, np.int64(lo), out=m2)
+            m2 &= padded <= np.int64(hi)
+        chunk = np.full(tiles.size, tile, dtype=np.int64)
+        keep = np.minimum((tiles + 1) * tile, enc.count) - tiles * tile
+        written = compact_tile_chunks_inplace(out, chunk, keep)
+        compact_tile_chunks_inplace(mask, chunk, keep)
         self.verify_decoded_tiles(enc, tiles, out[:written])
         return written
 

@@ -29,8 +29,11 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    clamp_interval,
     compact_tile_chunks_inplace,
+    predicate_interval,
     ragged_arange,
+    require_mask_buffer,
     require_out_buffer,
     trim_tile_chunks,
 )
@@ -233,6 +236,24 @@ def unpack_block_indices(
         minis = out[: n * BLOCK].reshape(n * MINIBLOCKS_PER_BLOCK, MINIBLOCK)
     flat_bits = bits.reshape(-1)
     flat_offsets = mini_offsets.reshape(-1)
+    decoded = minis.reshape(n, BLOCK)
+    # Regular-geometry fast path: when every miniblock in the batch shares
+    # one bitwidth and the selected blocks are physically consecutive,
+    # the payloads are equal word-aligned chunks at a constant stride and
+    # the whole batch unpacks as one contiguous stream — no per-miniblock
+    # word gather (which otherwise dominates the decode profile).
+    b0 = int(flat_bits[0])
+    if b0 and bool((flat_bits == b0).all()):
+        payload = MINIBLOCKS_PER_BLOCK * b0
+        stride = payload + BLOCK_HEADER_WORDS
+        if n == 1 or bool((np.diff(bstarts) == stride).all()):
+            bitio.unpack_bits_strided_into(
+                data, int(bstarts[0]) + BLOCK_HEADER_WORDS, n,
+                payload, stride, BLOCK, b0, decoded.reshape(-1),
+            )
+            if add_reference:
+                decoded += references[:, None]
+            return decoded.reshape(-1)
     for b in np.unique(flat_bits):
         sel = np.flatnonzero(flat_bits == b)
         if b == 0:
@@ -243,7 +264,6 @@ def unpack_block_indices(
         vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
         minis[sel] = vals.reshape(sel.size, MINIBLOCK)
 
-    decoded = minis.reshape(n, BLOCK)
     if add_reference:
         decoded += references[:, None]
     return decoded.reshape(-1)
@@ -268,6 +288,83 @@ def unpack_blocks(
     return unpack_block_indices(
         data, block_starts, np.arange(first_block, last_block), add_reference
     )
+
+
+def unpack_block_indices_filtered(
+    data: np.ndarray,
+    block_starts: np.ndarray,
+    blocks: np.ndarray,
+    lo: int,
+    hi: int,
+    out: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Fused decode+filter core for :func:`pack_blocks` streams.
+
+    Decodes ``blocks`` into ``out`` and writes the interval test
+    ``lo <= value <= hi`` into ``mask``, evaluating it in the *shifted*
+    domain (against ``lo - reference`` / ``hi - reference``) before the
+    frame-of-reference is added back.  Blocks whose header bounds
+    (``[reference, reference + 2**widest - 1]``) miss the interval are
+    never unpacked — their values are zero-filled and their mask False.
+    ``lo``/``hi`` must be pre-clamped (:func:`~repro.formats.base.clamp_interval`)
+    so the shifted thresholds cannot overflow int64.
+
+    Returns:
+        Per-block bool array: False marks blocks skipped via headers
+        (callers use ``active.all()`` to decide checksum coverage).
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = blocks.size
+    if n == 0:
+        return np.ones(0, dtype=bool)
+    bstarts = np.asarray(block_starts, dtype=np.int64)[blocks]
+    references = data[bstarts].view(np.int32).astype(np.int64)
+    bw_words = data[bstarts + 1]
+    bits = np.stack(
+        [(bw_words >> (8 * j)) & 0xFF for j in range(MINIBLOCKS_PER_BLOCK)],
+        axis=1,
+    ).astype(np.int64)
+    # Block short-circuit from the header bounds: the FOR reference is the
+    # exact block minimum, and reference + 2**widest - 1 caps the maximum.
+    block_hi = references + (np.int64(1) << bits.max(axis=1)) - np.int64(1)
+    active = (block_hi >= lo) & (references <= hi)
+    decoded = out[: n * BLOCK].reshape(n, BLOCK)
+
+    if bool(active.all()):
+        # Nothing skippable: reuse the unfiltered core (and its
+        # regular-geometry fast path) to materialize the raw diffs.
+        unpack_block_indices(data, block_starts, blocks, add_reference=False, out=out)
+    else:
+        minis = decoded.reshape(n * MINIBLOCKS_PER_BLOCK, MINIBLOCK)
+        mini_words = np.concatenate(
+            [np.zeros((n, 1), dtype=np.int64), np.cumsum(bits[:, :-1], axis=1)],
+            axis=1,
+        )
+        mini_offsets = bstarts[:, None] + BLOCK_HEADER_WORDS + mini_words
+        flat_bits = bits.reshape(-1)
+        flat_offsets = mini_offsets.reshape(-1)
+        flat_active = np.repeat(active, MINIBLOCKS_PER_BLOCK)
+        minis[np.flatnonzero(~flat_active)] = 0
+        for b in np.unique(flat_bits[flat_active]):
+            sel = np.flatnonzero(flat_active & (flat_bits == b))
+            if b == 0:
+                minis[sel] = 0
+                continue
+            src = flat_offsets[sel][:, None] + np.arange(int(b))
+            words = data[src.reshape(-1)]
+            vals = bitio.unpack_bits(words, sel.size * MINIBLOCK, int(b))
+            minis[sel] = vals.reshape(sel.size, MINIBLOCK)
+
+    # Compare against the shifted thresholds while the values are still
+    # reference-relative.  Skipped blocks hold zero diffs, and an inactive
+    # block's shifted interval cannot contain 0 (it misses [0, 2**w - 1]
+    # entirely), so their mask lands False without special-casing.
+    m2 = mask[: n * BLOCK].reshape(n, BLOCK)
+    np.greater_equal(decoded, (lo - references)[:, None], out=m2)
+    m2 &= decoded <= (hi - references)[:, None]
+    decoded += references[:, None]
+    return active
 
 
 class GpuFor(TileCodec):
@@ -379,6 +476,43 @@ class GpuFor(TileCodec):
         keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
         written = compact_tile_chunks_inplace(out, nb * BLOCK, keep)
         self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        interval = predicate_interval(predicate)
+        if interval is None:
+            return super().decode_filter_tiles_into(
+                enc, tile_indices, predicate, out, mask
+            )
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * BLOCK)
+        require_mask_buffer(mask, tiles.size * d * BLOCK)
+        if tiles.size == 0:
+            return 0
+        self.validate_for_decode(enc)
+        n_blocks = enc.arrays["block_starts"].size - 1
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        lo, hi = clamp_interval(*interval)
+        active = unpack_block_indices_filtered(
+            enc.arrays["data"], enc.arrays["block_starts"], blocks, lo, hi, out, mask
+        )
+        keep = np.minimum((tiles + 1) * d * BLOCK, enc.count) - tiles * d * BLOCK
+        written = compact_tile_chunks_inplace(out, nb * BLOCK, keep)
+        compact_tile_chunks_inplace(mask, nb * BLOCK, keep)
+        if bool(active.all()):
+            # No blocks were skipped, so the values are fully
+            # materialized and checksum coverage is preserved.
+            self.verify_decoded_tiles(enc, tiles, out[:written])
         return written
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:

@@ -25,6 +25,7 @@ from repro.formats.base import (
     KernelResources,
     TileCodec,
     ragged_arange,
+    require_mask_buffer,
     require_out_buffer,
     trim_tile_chunks,
 )
@@ -291,6 +292,65 @@ class GpuRFor(TileCodec):
         values = self.decode_tiles(enc, tiles)
         out[: values.size] = values
         return int(values.size)
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        """Fused decode+filter for GPU-RFOR: evaluate on runs, not rows.
+
+        The predicate is applied to the *run values* before expansion —
+        ``n_runs`` comparisons instead of one per logical row — and the
+        run mask expands with the same ``np.repeat`` as the values.  Any
+        predicate shape works (runs are plain value-domain integers), and
+        values are fully materialized so checksum coverage is preserved.
+        """
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        d = self.d_blocks(enc)
+        require_out_buffer(out, tiles.size * d * RFOR_BLOCK)
+        require_mask_buffer(mask, tiles.size * d * RFOR_BLOCK)
+        if tiles.size == 0:
+            return 0
+        self.validate_for_decode(enc)
+        n_blocks = self._num_blocks(enc)
+        first = tiles * d
+        nb = np.minimum(first + d, n_blocks) - first
+        blocks = np.repeat(first, nb) + ragged_arange(nb)
+        counts = enc.arrays["run_counts"]
+        run_values, _ = unpack_ragged_blocks(
+            RaggedPacked(
+                data=enc.arrays["values_data"],
+                block_starts=enc.arrays["values_starts"],
+                counts=counts,
+            ),
+            blocks,
+        )
+        run_lengths, _ = unpack_ragged_blocks(
+            RaggedPacked(
+                data=enc.arrays["lengths_data"],
+                block_starts=enc.arrays["lengths_starts"],
+                counts=counts,
+            ),
+            blocks,
+        )
+        self._check_run_sum(enc, run_lengths, int(nb.sum()), int(tiles[0]))
+        run_mask = predicate.row_mask(run_values)
+        expanded = np.repeat(run_values, run_lengths)
+        expanded_mask = np.repeat(run_mask, run_lengths)
+        keep = (
+            np.minimum((tiles + 1) * d * RFOR_BLOCK, enc.count)
+            - tiles * d * RFOR_BLOCK
+        )
+        vals = trim_tile_chunks(expanded, nb * RFOR_BLOCK, keep)
+        kept_mask = trim_tile_chunks(expanded_mask, nb * RFOR_BLOCK, keep)
+        self.verify_decoded_tiles(enc, tiles, vals)
+        out[: vals.size] = vals
+        mask[: vals.size] = kept_mask
+        return int(vals.size)
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:
         """Zero-decode bounds from the run-values stream's metadata.

@@ -1,0 +1,236 @@
+"""Pluggable bit-packing kernel backends.
+
+:mod:`repro.formats.bitio` validates arguments and then dispatches the
+actual pack/unpack work to one of the backends registered here:
+
+* ``numpy`` — the original phase-loop implementation, kept verbatim as
+  the bit-identity oracle (:mod:`repro.formats.kernels.numpy_ref`).
+* ``shift-table`` — the default: per-bitwidth phase plans for all 32
+  bitwidths are precomputed once at import, and byte-aligned widths
+  (1/2/4/8/16/32 on little-endian hosts) take dtype-view fast paths
+  that skip the 64-bit window machinery entirely
+  (:mod:`repro.formats.kernels.shift_table`).
+* ``numba`` — an optional JIT backend compiled on first use; selecting
+  it without numba installed falls back to ``shift-table`` with a
+  warning (:mod:`repro.formats.kernels.numba_jit`).
+
+Selection: the ``REPRO_KERNEL_BACKEND`` environment variable at import,
+:func:`set_backend` at runtime, or ``CrystalEngine(kernel_backend=...)``
+/ ``QueryServer(kernel_backend=...)`` at the engine level.  Every
+backend is bit-identical to the oracle by contract; the test suite
+enforces it across the full bitwidth matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+#: Canonical backend names, in oracle-first order.
+BACKEND_NAMES = ("numpy", "shift-table", "numba")
+
+_DEFAULT_BACKEND = "shift-table"
+
+
+class KernelBackend:
+    """Interface of one pack/unpack implementation.
+
+    Inputs are pre-validated by :mod:`repro.formats.bitio`: ``values``
+    arrives as a contiguous uint64 array that fits ``bits``; ``words``
+    arrives as a contiguous uint32 stream of at least
+    ``words_needed(count, bits)`` words; ``bits`` is in ``[1, 32]`` and
+    ``count``/``n`` are positive (the 0-bit and 0-count cases never
+    reach a backend).
+    """
+
+    name = "abstract"
+
+    def pack(self, values: np.ndarray, bits: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def unpack(self, words: np.ndarray, count: int, bits: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def unpack_into(
+        self, words: np.ndarray, count: int, bits: int, out: np.ndarray
+    ) -> None:
+        """Unpack directly into ``out[:count]`` (any integer dtype).
+
+        The allocation-free sibling of :meth:`unpack`: block codecs
+        decode into wide (int64) scratch buffers, and writing them
+        during extraction skips the intermediate uint32 array plus the
+        widening copy that otherwise dominate at byte-aligned widths.
+        """
+        out[:count] = self.unpack(words, count, bits)
+
+    def unpack_strided(
+        self,
+        data: np.ndarray,
+        first_word: int,
+        n_blocks: int,
+        payload_words: int,
+        stride_words: int,
+        count_per_block: int,
+        bits: int,
+    ) -> np.ndarray:
+        """Unpack ``n_blocks`` equal word-aligned payloads at a fixed stride.
+
+        The regular-geometry path of the block codecs: when every
+        selected block shares one bitwidth, payload ``i`` occupies words
+        ``[first_word + i*stride_words, ... + payload_words)`` of
+        ``data`` (the gap being the per-block header), and the whole
+        selection unpacks as one contiguous stream — replacing the
+        per-block fancy-indexed gather that dominates decode profiles.
+        ``count_per_block * bits`` must be a multiple of 32 (true for
+        every block geometry in the repo), so payloads concatenate
+        without bit slack.
+        """
+        if n_blocks <= 0:
+            return np.zeros(0, dtype=np.uint32)
+        stream = _strided_stream(
+            data, first_word, n_blocks, payload_words, stride_words
+        )
+        return self.unpack(stream, n_blocks * count_per_block, bits)
+
+    def unpack_strided_into(
+        self,
+        data: np.ndarray,
+        first_word: int,
+        n_blocks: int,
+        payload_words: int,
+        stride_words: int,
+        count_per_block: int,
+        bits: int,
+        out: np.ndarray,
+    ) -> None:
+        """:meth:`unpack_strided` writing straight into ``out``."""
+        if n_blocks <= 0:
+            return
+        stream = _strided_stream(
+            data, first_word, n_blocks, payload_words, stride_words
+        )
+        self.unpack_into(stream, n_blocks * count_per_block, bits, out)
+
+
+def _strided_stream(
+    data: np.ndarray,
+    first_word: int,
+    n_blocks: int,
+    payload_words: int,
+    stride_words: int,
+) -> np.ndarray:
+    """Concatenate equal-stride payloads into one contiguous word stream."""
+    if stride_words == payload_words:
+        return data[first_word : first_word + n_blocks * payload_words]
+    window = data[first_word:]
+    step = window.strides[0]
+    view = np.lib.stride_tricks.as_strided(
+        window,
+        shape=(n_blocks, payload_words),
+        strides=(step * stride_words, step),
+    )
+    return np.ascontiguousarray(view).reshape(-1)
+
+
+def _make_numpy() -> KernelBackend:
+    from repro.formats.kernels.numpy_ref import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _make_shift_table() -> KernelBackend:
+    from repro.formats.kernels.shift_table import ShiftTableBackend
+
+    return ShiftTableBackend()
+
+
+def _make_numba() -> KernelBackend:
+    from repro.formats.kernels import numba_jit
+
+    if not numba_jit.AVAILABLE:
+        raise ModuleNotFoundError(numba_jit.UNAVAILABLE_REASON)
+    return numba_jit.NumbaBackend()
+
+
+_FACTORIES = {
+    "numpy": _make_numpy,
+    "shift-table": _make_shift_table,
+    "numba": _make_numba,
+}
+
+#: Spelling aliases accepted from the environment / engine kwargs.
+_ALIASES = {"shift_table": "shift-table", "shifttable": "shift-table", "ref": "numpy"}
+
+_active: KernelBackend | None = None
+_fallback_reason: str | None = None
+
+
+def normalize_backend_name(name: str) -> str:
+    """Resolve aliases; raises ``ValueError`` for unknown backends."""
+    canon = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    if canon not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return canon
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Activate a backend by name and return it.
+
+    Selecting ``numba`` when numba is not importable falls back to
+    ``shift-table`` with a warning instead of failing — backend choice
+    is a tuning knob, not a correctness requirement.
+    """
+    global _active, _fallback_reason
+    canon = normalize_backend_name(name)
+    try:
+        backend = _FACTORIES[canon]()
+        _fallback_reason = None
+    except ModuleNotFoundError as exc:
+        _fallback_reason = f"{canon} unavailable ({exc}); using {_DEFAULT_BACKEND}"
+        warnings.warn(_fallback_reason, RuntimeWarning, stacklevel=2)
+        backend = _FACTORIES[_DEFAULT_BACKEND]()
+    _active = backend
+    return backend
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (initialising from the environment on first use)."""
+    global _active
+    if _active is None:
+        requested = os.environ.get("REPRO_KERNEL_BACKEND", _DEFAULT_BACKEND)
+        try:
+            normalize_backend_name(requested)
+        except ValueError as exc:
+            warnings.warn(f"REPRO_KERNEL_BACKEND: {exc}", RuntimeWarning)
+            requested = _DEFAULT_BACKEND
+        set_backend(requested)
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend (resolving the environment default)."""
+    return get_backend().name
+
+
+def capability_report() -> dict:
+    """What is available, what is active, and why any fallback happened."""
+    backends: dict[str, dict] = {}
+    for name in BACKEND_NAMES:
+        if name == "numba":
+            from repro.formats.kernels import numba_jit
+
+            backends[name] = {
+                "available": numba_jit.AVAILABLE,
+                "reason": numba_jit.UNAVAILABLE_REASON,
+            }
+        else:
+            backends[name] = {"available": True, "reason": None}
+    return {
+        "active": backend_name(),
+        "fallback_reason": _fallback_reason,
+        "backends": backends,
+    }

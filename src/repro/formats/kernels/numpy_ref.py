@@ -1,0 +1,86 @@
+"""The reference NumPy backend — the bit-identity oracle.
+
+This is the phase-loop implementation that previously lived inline in
+:mod:`repro.formats.bitio`, kept verbatim (minus argument validation,
+which stays in ``bitio``): every other backend must produce bit-identical
+streams and values.  Deliberately self-contained — the kernels package
+imports nothing from the rest of :mod:`repro.formats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.kernels import KernelBackend
+
+_WORD_BITS = 32
+
+
+def _words_needed(count: int, bits: int) -> int:
+    return -(-count * bits // _WORD_BITS)
+
+
+class NumpyBackend(KernelBackend):
+    """Per-call gcd/phase-loop pack and unpack (the oracle)."""
+
+    name = "numpy"
+
+    def pack(self, values: np.ndarray, bits: int) -> np.ndarray:
+        # Value i starts at stream bit i*bits, i.e. bit (i*bits % 32) of
+        # word i*bits // 32, and with bits <= 32 it straddles at most that
+        # word and the next.  The start offsets repeat with period
+        # P = 32/gcd(bits, 32) and within one phase the word index advances
+        # by the constant stride S = bits/gcd(bits, 32): each phase is one
+        # strided OR of ``value << scalar_shift`` into a 64-bit accumulator
+        # indexed by word.  In-phase values sit exactly S words apart, so a
+        # phase never writes the same word twice.  The low half of
+        # ``acc[w]`` is word ``w``; the high half is its spill into word
+        # ``w + 1``.
+        n = values.size
+        nwords = _words_needed(n, bits)
+        acc = np.zeros(nwords, dtype=np.uint64)
+        g = np.gcd(bits, _WORD_BITS)
+        period = _WORD_BITS // g
+        stride = bits // g
+        for p in range(min(period, n)):
+            n_p = -(-(n - p) // period)  # values in phase p
+            w0 = (p * bits) >> 5
+            acc[w0::stride][:n_p] |= values[p::period] << np.uint64((p * bits) & 31)
+        out = acc.astype(np.uint32)  # truncation keeps the low word
+        # The final word's spill is provably zero (every value fits inside
+        # the nwords*32-bit stream), so shifting acc[:-1] covers all of it.
+        out[1:] |= (acc[:-1] >> np.uint64(32)).astype(np.uint32)
+        return out
+
+    def unpack(self, words: np.ndarray, count: int, bits: int) -> np.ndarray:
+        # Value i occupies bits [i*bits, (i+1)*bits) of the stream, so with
+        # bits <= 32 it straddles at most two adjacent words.  View the
+        # stream as overlapping 64-bit windows (stride 4 bytes); window w
+        # holds words w and w+1, so value i is `(windows[i*bits//32] >>
+        # (i*bits % 32)) & mask` — the CUDA kernel's extraction.
+        needed = _words_needed(count, bits)
+        w = np.empty(needed + 1, dtype=np.uint32)
+        w[:needed] = words[:needed]
+        w[needed] = 0  # high-word sentinel for the final value
+        windows = np.ndarray(
+            shape=(needed,), dtype=np.uint64, buffer=w.data, strides=(4,)
+        )
+        # Truncating to uint32 drops window bits >= 32; the mask (which fits
+        # uint32 for every bits <= 32) then drops bits >= `bits`.
+        mask = np.uint32((1 << bits) - 1)
+        if count < 4096:
+            # Small batch: one fancy-indexed gather beats paying the slice
+            # setup once per phase.
+            pos = np.arange(count, dtype=np.int64) * bits
+            shift = (pos & 31).astype(np.uint64)
+            return (windows[pos >> 5] >> shift).astype(np.uint32) & mask
+        g = np.gcd(bits, _WORD_BITS)
+        period = _WORD_BITS // g
+        stride = bits // g
+        out = np.empty(count, dtype=np.uint32)
+        for p in range(min(period, count)):
+            n_p = -(-(count - p) // period)  # values in phase p
+            phase = windows[(p * bits) >> 5 :: stride][:n_p]
+            out[p::period] = (phase >> np.uint64((p * bits) & 31)).astype(np.uint32)
+        out &= mask
+        return out

@@ -23,7 +23,10 @@ from repro.formats.base import (
     EncodedColumn,
     KernelResources,
     TileCodec,
+    clamp_interval,
     compact_tile_chunks_inplace,
+    predicate_interval,
+    require_mask_buffer,
     require_out_buffer,
     trim_tile_chunks,
 )
@@ -223,6 +226,75 @@ class GpuSimdBp128(TileCodec):
             out, np.full(tiles.size, VBLOCK, dtype=np.int64), keep
         )
         self.verify_decoded_tiles(enc, tiles, out[:written])
+        return written
+
+    def decode_filter_tiles_into(
+        self,
+        enc: EncodedColumn,
+        tile_indices: np.ndarray,
+        predicate,
+        out: np.ndarray,
+        mask: np.ndarray,
+    ) -> int:
+        """Fused decode+filter: shifted-domain compare at 4096 granularity.
+
+        Like GPU-FOR's fused core but per vertical block: the interval is
+        tested against ``lo - reference`` / ``hi - reference`` before the
+        reference add, and blocks whose ``[reference, reference +
+        2**bits - 1]`` header bound misses the interval skip the whole
+        de-interleave+unpack (zero-filled values, mask False).
+        """
+        interval = predicate_interval(predicate)
+        if interval is None:
+            return super().decode_filter_tiles_into(
+                enc, tile_indices, predicate, out, mask
+            )
+        tiles = self._validate_tile_indices(enc, tile_indices)
+        require_out_buffer(out, tiles.size * VBLOCK)
+        require_mask_buffer(mask, tiles.size * VBLOCK)
+        if tiles.size == 0:
+            return 0
+        self.validate_for_decode(enc)
+        data = enc.arrays["data"]
+        bstarts = enc.arrays["block_starts"].astype(np.int64)[tiles]
+        references = data[bstarts].view(np.int32).astype(np.int64)
+        bits = data[bstarts + 1].astype(np.int64)
+        per_lane = VBLOCK // LANES
+        lo, hi = clamp_interval(*interval)
+        block_hi = references + (np.int64(1) << bits) - np.int64(1)
+        active = (block_hi >= lo) & (references <= hi)
+
+        decoded = out[: tiles.size * VBLOCK].reshape(tiles.size, VBLOCK)
+        decoded[np.flatnonzero(~active)] = 0
+        for b in np.unique(bits[active]):
+            sel = np.flatnonzero(active & (bits == b))
+            if b == 0:
+                decoded[sel] = 0
+                continue
+            words_per_block = int(b) * VBLOCK // 32
+            words_per_lane = words_per_block // LANES
+            src = (bstarts[sel] + _HEADER_WORDS)[:, None] + np.arange(words_per_block)
+            words = data[src.reshape(-1)].reshape(sel.size, words_per_lane, LANES)
+            lane_stream = np.ascontiguousarray(words.transpose(0, 2, 1)).reshape(-1)
+            vals = bitio.unpack_bits(lane_stream, sel.size * VBLOCK, int(b))
+            decoded[sel] = (
+                vals.reshape(sel.size, LANES, per_lane)
+                .transpose(0, 2, 1)
+                .reshape(sel.size, VBLOCK)
+            )
+        # Shifted-domain compare: skipped blocks hold zero diffs, and an
+        # inactive block's shifted interval cannot contain 0, so their
+        # mask lands False without special-casing.
+        m2 = mask[: tiles.size * VBLOCK].reshape(tiles.size, VBLOCK)
+        np.greater_equal(decoded, (lo - references)[:, None], out=m2)
+        m2 &= decoded <= (hi - references)[:, None]
+        decoded += references[:, None]
+        chunk = np.full(tiles.size, VBLOCK, dtype=np.int64)
+        keep = np.minimum((tiles + 1) * VBLOCK, enc.count) - tiles * VBLOCK
+        written = compact_tile_chunks_inplace(out, chunk, keep)
+        compact_tile_chunks_inplace(mask, chunk, keep)
+        if bool(active.all()):
+            self.verify_decoded_tiles(enc, tiles, out[:written])
         return written
 
     def tile_bounds(self, enc: EncodedColumn) -> tuple[np.ndarray, np.ndarray]:

@@ -3,12 +3,16 @@
 Every serving component (the :class:`~repro.serving.pool.ColumnPool`, the
 :class:`~repro.serving.scheduler.QueryServer`) records into one shared
 :class:`MetricsRegistry`.  The registry is deliberately tiny — named
-monotonic counters, last-write-wins gauges, and bounded observation series
-with percentile queries — exported as one flat dict so reports, tests and
-benchmarks all read the same numbers.
+monotonic counters, last-write-wins gauges, string info labels, and
+bounded observation series with percentile queries — exported as one flat
+dict so reports, tests and benchmarks all read the same numbers.
 
 All operations are thread-safe: client threads submitting to the server
-and the scheduler thread draining it update the same registry.
+and the scheduler thread draining it update the same registry.  Series
+are bounded ring buffers, so the hot ``observe`` path is O(1) and a
+scrape holds the lock only for a bulk array copy — summary statistics
+and list conversion happen outside it, so scrapes never stall writers
+for longer than a memcpy.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ import math
 import threading
 from collections import defaultdict
 from typing import Sequence
+
+import numpy as np
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -27,7 +33,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if not values:
+    if len(values) == 0:
         return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
@@ -41,8 +47,39 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
+class _Series:
+    """Bounded ring buffer of float observations.
+
+    ``observe`` is a single array store plus two integer updates — no
+    allocation, no list shifting — and ``ordered_copy`` materializes the
+    retained window (oldest first) with one or two slice copies.
+    """
+
+    __slots__ = ("buf", "count", "head")
+
+    def __init__(self, capacity: int):
+        self.buf = np.empty(capacity, dtype=np.float64)
+        #: Total observations ever made (retained window is the tail).
+        self.count = 0
+        #: Next write position.
+        self.head = 0
+
+    def observe(self, value: float) -> None:
+        self.buf[self.head] = value
+        self.head = (self.head + 1) % self.buf.size
+        self.count += 1
+
+    def ordered_copy(self) -> np.ndarray:
+        """The retained observations, oldest first, as a fresh array."""
+        if self.count < self.buf.size:
+            return self.buf[: self.head].copy()
+        if self.head == 0:
+            return self.buf.copy()
+        return np.concatenate([self.buf[self.head :], self.buf[: self.head]])
+
+
 class MetricsRegistry:
-    """Named counters, gauges, and observation series."""
+    """Named counters, gauges, info labels, and observation series."""
 
     def __init__(self, max_series_len: int = 100_000):
         if max_series_len <= 0:
@@ -50,7 +87,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = defaultdict(int)
         self._gauges: dict[str, float] = {}
-        self._series: dict[str, list[float]] = defaultdict(list)
+        self._infos: dict[str, str] = {}
+        self._series: dict[str, _Series] = {}
         self._max_series_len = max_series_len
 
     # -- writes ------------------------------------------------------------
@@ -71,13 +109,19 @@ class MetricsRegistry:
             if value > self._gauges.get(name, float("-inf")):
                 self._gauges[name] = value
 
+    def set_info(self, name: str, value: str) -> None:
+        """Set a string-valued label (build/version-style metadata,
+        e.g. the active kernel backend)."""
+        with self._lock:
+            self._infos[name] = str(value)
+
     def observe(self, name: str, value: float) -> None:
         """Append one observation (e.g. a latency) to a series."""
         with self._lock:
-            series = self._series[name]
-            series.append(float(value))
-            if len(series) > self._max_series_len:
-                del series[: len(series) - self._max_series_len]
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series(self._max_series_len)
+            series.observe(float(value))
 
     # -- reads -------------------------------------------------------------
 
@@ -89,30 +133,55 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name, default)
 
-    def series(self, name: str) -> list[float]:
+    def info_value(self, name: str, default: str = "") -> str:
         with self._lock:
-            return list(self._series.get(name, ()))
+            return self._infos.get(name, default)
+
+    def series(self, name: str) -> list[float]:
+        """The retained observations of one series, oldest first.
+
+        The lock covers only the bulk copy of the ring; the (much
+        slower) boxing into a Python list happens outside it, so a
+        scrape of a full 100k-entry series never stalls ``observe``.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            values = None if series is None else series.ordered_copy()
+        return [] if values is None else values.tolist()
 
     def series_percentile(self, name: str, q: float) -> float:
-        return percentile(self.series(name), q)
+        with self._lock:
+            series = self._series.get(name)
+            values = None if series is None else series.ordered_copy()
+        if values is None:
+            return percentile([], q)
+        return percentile(values.tolist(), q)
 
     def snapshot(self) -> dict:
         """Export everything as one flat dict.
 
-        Counters and gauges appear under their own names; each series
-        ``s`` contributes ``s_count``, ``s_mean``, ``s_p50``, ``s_p99``
-        and ``s_max``.
+        Counters and gauges appear under their own names, info labels as
+        strings; each series ``s`` contributes ``s_count``, ``s_mean``,
+        ``s_p50``, ``s_p99`` and ``s_max``.  Only the raw copies happen
+        under the lock — the per-series statistics are computed after it
+        is released.
         """
         with self._lock:
             out: dict = dict(self._counters)
             out.update(self._gauges)
-            series_copy = {k: list(v) for k, v in self._series.items()}
+            out.update(self._infos)
+            series_copy = {k: s.ordered_copy() for k, s in self._series.items()}
         for name, values in series_copy.items():
-            out[f"{name}_count"] = len(values)
-            out[f"{name}_mean"] = sum(values) / len(values) if values else 0.0
-            out[f"{name}_p50"] = percentile(values, 50.0)
-            out[f"{name}_p99"] = percentile(values, 99.0)
-            out[f"{name}_max"] = max(values) if values else 0.0
+            n = int(values.size)
+            out[f"{name}_count"] = n
+            out[f"{name}_mean"] = float(values.mean()) if n else 0.0
+            out[f"{name}_p50"] = (
+                float(np.percentile(values, 50.0)) if n else 0.0
+            )
+            out[f"{name}_p99"] = (
+                float(np.percentile(values, 99.0)) if n else 0.0
+            )
+            out[f"{name}_max"] = float(values.max()) if n else 0.0
         return out
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import contextlib
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.formats.base import EncodedColumn, TileCodec
 from repro.formats.registry import get_codec
@@ -41,10 +41,13 @@ from repro.gpusim.timing import CostModel
 from repro.serving.metrics import MetricsRegistry
 
 #: Resident kinds, in eviction-preference order (reconstructible first).
-KINDS = ("meta", "decoded", "compressed")
+#: ``scratch`` entries are accounting-only mirrors of working memory held
+#: elsewhere (e.g. streaming decode arenas); evicting one fires its
+#: ``release`` callback so the mirrored bytes are actually freed.
+KINDS = ("meta", "decoded", "compressed", "scratch")
 #: Kinds that can be rebuilt from another resident (or the host copy)
 #: without losing data — always evicted before compressed images.
-RECONSTRUCTIBLE_KINDS = frozenset({"meta", "decoded"})
+RECONSTRUCTIBLE_KINDS = frozenset({"meta", "decoded", "scratch"})
 
 
 class PoolAdmissionError(RuntimeError):
@@ -65,6 +68,11 @@ class Resident:
     reconstruct_cost_ms: float = 0.0
     pin_count: int = 0
     last_used: int = 0
+    #: Called (outside the eviction loop, errors swallowed) when the
+    #: resident is evicted for space; accounting-only residents use it to
+    #: free the external memory they mirror.  Not fired by explicit
+    #: ``invalidate``/``clear`` — the owner initiated those itself.
+    release: Callable[[], Any] | None = field(default=None, repr=False, compare=False)
 
     @property
     def reconstructible(self) -> bool:
@@ -146,6 +154,7 @@ class ColumnPool:
         payload: Any = None,
         reconstruct_cost_ms: float = 0.0,
         pin: bool = False,
+        release: Callable[[], Any] | None = None,
     ) -> Resident:
         """Make room for and register one image; returns its resident.
 
@@ -169,6 +178,7 @@ class ColumnPool:
                     existing.payload = payload
                     existing.reconstruct_cost_ms = reconstruct_cost_ms
                     existing.last_used = self._tick
+                    existing.release = release
                     if pin:
                         existing.pin_count += 1
                     return existing
@@ -187,6 +197,7 @@ class ColumnPool:
                 reconstruct_cost_ms=reconstruct_cost_ms,
                 pin_count=1 if pin else 0,
                 last_used=self._tick,
+                release=release,
             )
             self._residents[key] = resident
             self.metrics.inc("pool_admissions")
@@ -263,6 +274,7 @@ class ColumnPool:
     def _make_room(self, nbytes: int, for_key: str) -> None:
         """Evict until ``nbytes`` fit, preferring reconstructible images."""
         free = self.budget_bytes - sum(r.nbytes for r in self._residents.values())
+        releases: list[Callable[[], Any]] = []
         while free < nbytes:
             victim = self._pick_victim()
             if victim is None:
@@ -281,7 +293,17 @@ class ColumnPool:
             )
             self.metrics.inc("pool_evictions")
             self.metrics.inc("pool_evicted_bytes", victim.nbytes)
+            if victim.release is not None:
+                releases.append(victim.release)
         self._publish()
+        # Fire release hooks only after the eviction loop settled its
+        # accounting: a hook that re-enters the pool (the lock is
+        # reentrant) must not race the ``free`` tally above.
+        for release in releases:
+            try:
+                release()
+            except Exception:
+                self.metrics.inc("pool_release_errors")
 
     def _pick_victim(self) -> Resident | None:
         """Lowest keep-score unpinned resident, reconstructible class first."""

@@ -137,6 +137,8 @@ class QueryServer:
         max_retries: int = 2,
         retry_backoff_ms: float = 5.0,
         verify_cached: bool = False,
+        kernel_backend: str | None = None,
+        trim_arenas_when_idle: bool = True,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -163,11 +165,18 @@ class QueryServer:
             streaming=streaming,
             stream_workers=stream_workers,
             morsel_tiles=morsel_tiles,
+            kernel_backend=kernel_backend,
         )
         # Morsel timings and the peak decoded-bytes gauge land next to
         # the serving latency series.
         self.engine.metrics = self.metrics
         self.engine.verify_cached = verify_cached
+        #: Release streaming decode-arena scratch when the scheduler
+        #: thread has seen the queue empty for consecutive waits.
+        self.trim_arenas_when_idle = trim_arenas_when_idle
+        # The resolved (post-fallback) bit-packing backend, visible to
+        # scrapes next to the latency series.
+        self.metrics.set_info("kernel_backend", self.engine.kernel_backend)
         self.max_queue = max_queue
         self.batch_window = batch_window
         self.default_timeout_ms = default_timeout_ms
@@ -325,18 +334,46 @@ class QueryServer:
             processed += len(batch)
 
     def _serve_loop(self) -> None:
+        idle_waits = 0
         while True:
             with self._state_lock:
                 while not self._queue and not self._closed:
                     self._not_empty.wait(0.05)
+                    idle_waits += 1
+                    if idle_waits == 2 and self.trim_arenas_when_idle:
+                        # Two consecutive empty waits: the burst is over.
+                        # Release decode-arena scratch exactly once per
+                        # idle period (the counter keeps climbing until
+                        # work arrives, so longer idling never re-trims).
+                        break
+                else:
+                    idle_waits = 0
                 if self._closed and not self._queue:
                     return
                 stop_after = self._closed
+            if idle_waits == 2 and not self.queue_depth:
+                self.trim_idle()
+                continue
             batch = self._take_batch()
             if batch:
                 self._process(batch)
             if stop_after and not self.queue_depth:
                 return
+
+    def trim_idle(self, max_bytes: int = 0) -> int:
+        """Release streaming decode-arena scratch down to ``max_bytes``.
+
+        Called by the scheduler thread when the queue has stayed empty,
+        and callable directly between workload bursts.  Worker arenas
+        grow to the largest column chunk ever decoded; between bursts
+        that memory serves nobody.  Returns the bytes released.
+        """
+        with self._engine_lock:
+            released = self.engine.trim_stream_arenas(max_bytes)
+        if released:
+            self.metrics.inc("arena_trim_releases")
+            self.metrics.inc("arena_trimmed_bytes", released)
+        return released
 
     def _take_batch(self) -> list[_Ticket]:
         with self._state_lock:

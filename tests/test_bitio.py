@@ -28,6 +28,23 @@ class TestRequiredBits:
         with pytest.raises(ValueError, match="non-negative"):
             bitio.required_bits(np.array([-1]))
 
+    def test_unpackable_width_rejected_at_source(self):
+        # Widths above MAX_BITS used to leak out of required_bits and
+        # blow up later, deep inside pack_bits, with no hint of which
+        # value was responsible.  Now the error names value and width.
+        with pytest.raises(ValueError, match=r"9223372036854775808 needs 64 bits"):
+            bitio.required_bits(np.array([2**63], dtype=np.uint64))
+        with pytest.raises(ValueError, match=r"needs 33 bits.*maximum of 32"):
+            bitio.required_bits(np.array([1, 2**32, 3], dtype=np.uint64))
+
+    def test_max_bits_none_gives_raw_width(self):
+        values = np.array([2**63], dtype=np.uint64)
+        assert bitio.required_bits(values, max_bits=None) == 64
+        assert bitio.required_bits(np.array([2**40], dtype=np.uint64), max_bits=41) == 41
+
+    def test_max_bits_boundary_accepted(self):
+        assert bitio.required_bits(np.array([2**32 - 1], dtype=np.uint64)) == 32
+
 
 class TestWordsNeeded:
     @pytest.mark.parametrize(
