@@ -1,0 +1,47 @@
+"""Semantic result cache baseline: drill-down reuse under the dashboard mix.
+
+Drives the repeated/overlapping-filter workload (SSB flight-1 plus
+year→half→quarter drill-down scans) through a semcache-backed streaming
+engine, asserts the acceptance contract — warm queries at least 2×
+faster wall-clock than cold with bit-identical answers and zero stale
+reads after a flush — and emits ``BENCH_semcache.json`` as the perf
+baseline future PRs compare against.
+
+Environment knobs:
+    REPRO_BENCH_SF — SSB scale factor (default 0.02, see conftest)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+from repro.experiments import semcache_workload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_semcache.json"
+
+
+def test_semcache_drilldown_workload(benchmark, bench_db):
+    # run() itself raises if any cached answer deviates from the cold
+    # reference or if the post-flush replay serves a stale partial.
+    summary = run_once(benchmark, semcache_workload.run, db=bench_db)
+
+    assert summary["stale_reads_after_flush"] == 0
+    assert summary["warm_speedup"] >= 2.0, summary["warm_speedup"]
+    assert summary["hits"] > 0, "repeat queries never hit the cache"
+    assert summary["donated_partials"] > 0, "drill-downs never reused donors"
+    assert summary["invalidations"] > 0, "flush did not invalidate entries"
+    assert summary["resident_bytes"] <= summary["budget_bytes"]
+
+    OUTPUT_PATH.write_text(json.dumps(
+        {k: v for k, v in summary.items() if k != "rows"}, indent=2
+    ) + "\n")
+    print(
+        f"\nsemcache: warm {summary['warm_speedup']:.1f}x faster than cold "
+        f"({summary['cold_ms_total']:.1f} ms -> {summary['warm_ms_total']:.1f} ms "
+        f"over {summary['num_queries']} queries), "
+        f"{summary['hits']} hits / {summary['partial_hits']} partial / "
+        f"{summary['donated_partials']} donated, "
+        f"0 stale reads after flush -> {OUTPUT_PATH.name}"
+    )

@@ -33,6 +33,7 @@ from repro.experiments import (
     pushdown_sweep,
     random_access,
     related_work,
+    semcache_workload,
     sensitivity_gpu,
     serving_workload,
     streaming_scan,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),
     "serving": (serving_workload, "extension — serving layer: pool + scheduler under load"),
     "streaming": (streaming_scan, "extension — morsel streaming vs materialized execution"),
+    "semcache": (semcache_workload, "extension — semantic result cache: drill-down reuse"),
     "faults": (fault_injection, "extension — corruption matrix + fault-injected serving"),
 }
 

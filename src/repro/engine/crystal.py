@@ -43,7 +43,12 @@ from repro.formats.registry import get_codec
 from repro.gpusim.executor import GPUDevice
 from repro.gpusim.memory import linear_bytes
 from repro.engine.lookup import MISS, Lookup, make_lookup
-from repro.engine.predicates import And, ColumnPredicate, column_predicates
+from repro.engine.predicates import (
+    And,
+    ColumnPredicate,
+    canonical_key,
+    column_predicates,
+)
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
 
@@ -145,6 +150,12 @@ class CrystalEngine:
         #: Optional serving MetricsRegistry receiving per-morsel timings
         #: and the peak decoded-bytes gauge (set by the QueryServer).
         self.metrics = None
+        #: Optional semantic result cache (see ``serving.semcache``).
+        #: When set, streaming queries probe it for reusable per-tile
+        #: partial aggregates before running morsels, and
+        #: :meth:`invalidate_column` bumps its per-column epochs so a
+        #: flush can never merge stale partials.
+        self.semcache = None
         #: Optional fault-injection hook, called with the column name
         #: before every source decode; used by the robustness tests to
         #: simulate transient decode failures (see serving.faults).
@@ -492,6 +503,8 @@ class CrystalEngine:
         if self.pool is not None:
             for prefix in ("decoded/", "tilemeta/", "compressed/", "bounds/"):
                 self.pool.invalidate(prefix + name)
+        if self.semcache is not None:
+            self.semcache.invalidate_column(name)
 
     def bind_updatable(self, name: str, column: "UpdatableColumn") -> None:
         """Serve ``name`` from an :class:`~repro.core.updates.UpdatableColumn`.
@@ -680,7 +693,10 @@ class CrystalEngine:
                 metrics=self.metrics,
             )
             self._stream_executor = executor
-        groups = executor.execute(query)
+        if self.semcache is not None:
+            groups = self.semcache.execute(self, executor, query)
+        else:
+            groups = executor.execute(query)
         self.last_stream_stats = executor.last_stats
         self._account_stream_arenas()
         return groups
@@ -761,11 +777,39 @@ class CrystalEngine:
 
 @dataclass
 class SSBQuery:
-    """One SSB query: the fact columns it touches and its plan."""
+    """One SSB query: the fact columns it touches and its plan.
+
+    Queries may additionally declare their semantic identity for the
+    serving layer's result cache and request coalescing:
+
+    * ``plan_key`` groups queries whose plans are identical *except* for
+      the declared ``predicate`` (e.g. the flight-1 drill-downs).  Two
+      queries sharing a plan_key must run the very same operator
+      sequence over the same columns and differ only in which rows their
+      predicate conjuncts keep — partial aggregates then transfer
+      between them tile-by-tile.  ``None`` keeps the query in its own
+      group (keyed by name), which is always sound.
+    * ``predicate`` is the query's full filter in the predicate IR, used
+      for canonical semantic keys; queries whose filters are not
+      expressible in the IR leave it ``None``.
+    """
 
     name: str
     columns: tuple[str, ...]
     fn: Callable[[CrystalEngine], dict[int, int]]
+    plan_key: tuple | None = None
+    predicate: "ColumnPredicate | And | None" = None
+
+    def semantic_key(self) -> tuple:
+        """Hashable identity of what this query computes.
+
+        Two requests with equal semantic keys return identical answers
+        (same plan family, same canonicalized filter), so the serving
+        layer coalesces them into one execution even when their
+        predicate objects were built differently.
+        """
+        base = self.plan_key if self.plan_key is not None else ("query", self.name)
+        return (base, canonical_key(self.predicate))
 
 
 class FactPipeline:

@@ -33,6 +33,8 @@ __all__ = [
     "INT64_MIN",
     "InSet",
     "Range",
+    "canonical_key",
+    "canonical_predicates",
     "column_predicates",
 ]
 
@@ -76,6 +78,30 @@ class ColumnPredicate:
         """
         raise NotImplementedError
 
+    def tile_must_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        """Conservative per-tile test for *every* row satisfying the predicate.
+
+        The dual of :meth:`tile_may_match`: ``True`` means the bounds
+        prove the predicate holds on every row of the tile, so a filter
+        over that tile is a no-op; ``False`` only means "cannot prove
+        it".  Predicate subclasses without a cheap proof inherit the
+        all-``False`` default, which is always sound.  The semantic
+        result cache uses this to establish when a partial aggregate
+        computed under one predicate is reusable under another.
+        """
+        return np.zeros(np.asarray(mins).shape, dtype=bool)
+
+    def cache_key(self) -> tuple:
+        """A stable, hashable identity for semantically equal predicates.
+
+        Degenerate forms collapse (``Range(lo == hi)`` and single-element
+        ``InSet`` both become the ``Equals`` key; an unsatisfiable range
+        or empty set becomes ``("empty", column)``), so predicates built
+        differently by different query flights compare — and hash —
+        equal exactly when they select the same rows.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Range(ColumnPredicate):
@@ -108,6 +134,23 @@ class Range(ColumnPredicate):
             INT64_MAX if self.hi is None else int(self.hi),
         )
 
+    def tile_must_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        # Every row matches iff the whole tile interval sits inside [lo, hi].
+        must = np.ones(np.asarray(mins).shape, dtype=bool)
+        if self.lo is not None:
+            must &= mins >= self.lo
+        if self.hi is not None:
+            must &= maxs <= self.hi
+        return must
+
+    def cache_key(self) -> tuple:
+        lo, hi = self.as_interval()
+        if lo > hi:
+            return ("empty", self.column)
+        if lo == hi:
+            return ("eq", self.column, lo)
+        return ("range", self.column, lo, hi)
+
 
 @dataclass(frozen=True)
 class Equals(ColumnPredicate):
@@ -124,6 +167,13 @@ class Equals(ColumnPredicate):
 
     def as_interval(self) -> tuple[int, int]:
         return (int(self.value), int(self.value))
+
+    def tile_must_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        # Only a constant tile equal to the value matches on every row.
+        return (mins == self.value) & (maxs == self.value)
+
+    def cache_key(self) -> tuple:
+        return ("eq", self.column, int(self.value))
 
 
 @dataclass(frozen=True)
@@ -153,6 +203,21 @@ class InSet(ColumnPredicate):
         first_gt_max = np.searchsorted(vals, maxs, side="right")
         return first_ge_min < first_gt_max
 
+    def tile_must_match(self, mins: np.ndarray, maxs: np.ndarray) -> np.ndarray:
+        mins = np.asarray(mins)
+        if not self.values:
+            return np.zeros(mins.shape, dtype=bool)
+        # A constant tile whose value is a set member matches everywhere.
+        vals = np.asarray(self.values, dtype=np.int64)
+        return (mins == maxs) & np.isin(mins, vals)
+
+    def cache_key(self) -> tuple:
+        if not self.values:
+            return ("empty", self.column)
+        if len(self.values) == 1:
+            return ("eq", self.column, self.values[0])
+        return ("in", self.column, self.values)
+
 
 @dataclass(frozen=True)
 class And:
@@ -168,6 +233,91 @@ class And:
             else:
                 flat.append(pred)
         object.__setattr__(self, "predicates", tuple(flat))
+
+    def cache_key(self) -> tuple:
+        """Canonical key of the whole conjunction (see :func:`canonical_key`)."""
+        return canonical_key(self)
+
+
+def canonical_predicates(
+    predicate: ColumnPredicate | And | None,
+) -> tuple[ColumnPredicate, ...]:
+    """Reduce a predicate to one normalized conjunct per column.
+
+    Per-column constraints are intersected exactly — ranges intersect
+    their intervals, sets intersect their members and are clipped to the
+    surrounding interval — and each surviving column re-emerges in its
+    simplest form: ``Equals`` for a point, ``InSet`` for a small set,
+    ``Range`` for an interval, nothing for a full-domain constraint, and
+    ``InSet(column, ())`` for a provably empty one.  The result is
+    sorted by column name, so any two conjunctions selecting the same
+    rows normalize to the same tuple.
+    """
+    preds = column_predicates(predicate)
+    los: dict[str, int] = {}
+    his: dict[str, int] = {}
+    sets: dict[str, frozenset[int] | None] = {}
+    for pred in preds:
+        col = pred.column
+        if col not in los:
+            los[col], his[col], sets[col] = INT64_MIN, INT64_MAX, None
+        if isinstance(pred, InSet):
+            members = frozenset(pred.values)
+            prior = sets[col]
+            sets[col] = members if prior is None else prior & members
+        elif isinstance(pred, (Range, Equals)):
+            lo, hi = pred.as_interval()
+            los[col] = max(los[col], lo)
+            his[col] = min(his[col], hi)
+        else:
+            raise TypeError(
+                f"cannot canonicalize predicate type {type(pred).__name__}"
+            )
+    out: list[ColumnPredicate] = []
+    for col in sorted(los):
+        lo, hi, members = los[col], his[col], sets[col]
+        if members is not None:
+            vals = tuple(sorted(v for v in members if lo <= v <= hi))
+            if not vals:
+                out.append(InSet(col, ()))
+            elif len(vals) == 1:
+                out.append(Equals(col, vals[0]))
+            else:
+                out.append(InSet(col, vals))
+        elif lo > hi:
+            out.append(InSet(col, ()))
+        elif lo == hi:
+            out.append(Equals(col, lo))
+        elif lo == INT64_MIN and hi == INT64_MAX:
+            continue  # no constraint at all
+        else:
+            out.append(
+                Range(
+                    col,
+                    None if lo == INT64_MIN else lo,
+                    None if hi == INT64_MAX else hi,
+                )
+            )
+    return tuple(out)
+
+
+def canonical_key(predicate: ColumnPredicate | And | None) -> tuple:
+    """A stable hashable key identifying a predicate up to semantics.
+
+    ``("true",)`` for no constraint, ``("false",)`` when any column's
+    constraint is unsatisfiable, otherwise ``("and", (conjunct keys
+    sorted by column))`` over the :func:`canonical_predicates` form.
+    Semantically identical filters built by different flights (``And``
+    nesting, conjunct order, ``Range(lo == hi)`` vs ``Equals``,
+    single-member ``InSet``, redundant repeats) all map to one key.
+    """
+    conjuncts = canonical_predicates(predicate)
+    keys = tuple(p.cache_key() for p in conjuncts)
+    if any(k[0] == "empty" for k in keys):
+        return ("false",)
+    if not keys:
+        return ("true",)
+    return ("and", keys)
 
 
 def column_predicates(

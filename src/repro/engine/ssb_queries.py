@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.crystal import MISS, CrystalEngine, SSBQuery
-from repro.engine.predicates import And, Range
+from repro.engine.predicates import And, Range, canonical_predicates
 
 # -- dictionary codes for the SSB literals used by the queries -------------
 
@@ -106,6 +106,76 @@ def q1_3(engine: CrystalEngine) -> dict[int, int]:
     d = engine.db.date
     mask = (d["d_weeknuminyear"] == 6) & (d["d_year"] == 1994)
     return _flight1(engine, "q1.3", mask, 5, 7, 36, 40)
+
+
+#: Fact columns every revenue scan touches, in load order.
+_SCAN_COLUMNS = ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice")
+
+
+def make_scan(name: str, predicate: "And | Range") -> SSBQuery:
+    """A declarative revenue scan: ``sum(extendedprice * discount)``
+    under a predicate over the scan columns.
+
+    The predicate is canonicalized up front and declared on the returned
+    :class:`SSBQuery` (``plan_key=("scan", "revenue")``), so every scan
+    built here shares one plan family: the serving layer coalesces
+    semantically identical requests, and the semantic result cache
+    transfers per-tile-span partials between scans whose filters
+    provably agree on a tile (the year→month drill-down pattern).  All
+    four columns load unconditionally — the plan's operator trace is
+    identical across the family no matter which columns the predicate
+    happens to constrain.
+    """
+    conjuncts = canonical_predicates(predicate)
+    filterable = set(_SCAN_COLUMNS[:-1])
+    extra = sorted({p.column for p in conjuncts} - filterable)
+    if extra:
+        raise ValueError(
+            f"scan predicates may constrain only {sorted(filterable)}, got {extra}"
+        )
+    pred = And(conjuncts)
+    by_col = {p.column: p for p in conjuncts}
+
+    def fn(engine: CrystalEngine) -> dict[int, int]:
+        p = engine.pipeline(name)
+        p.filter_pushdown(pred)
+        loaded = {}
+        for col in _SCAN_COLUMNS[:-1]:
+            loaded[col] = p.load(col)
+            cp = by_col.get(col)
+            if cp is not None:
+                p.filter_predicate(cp, loaded[col])
+        extendedprice = p.load("lo_extendedprice")
+        result = p.total_sum_product(extendedprice, loaded["lo_discount"])
+        p.finish()
+        return result
+
+    return SSBQuery(
+        name, _SCAN_COLUMNS, fn, plan_key=("scan", "revenue"), predicate=pred
+    )
+
+
+def make_flight1(name: str, date_lo: int, date_hi: int, disc_lo: int,
+                 disc_hi: int, qty_lo: int, qty_hi: int) -> SSBQuery:
+    """A flight-1 query with its date selection as a datekey range.
+
+    Every ``lo_orderdate`` is a valid ``d_datekey`` (dbgen samples the
+    date dimension), so an equality filter on any date attribute that
+    selects *contiguous calendar days* — a year, a month, a week — is
+    exactly the datekey range ``[first day, last day]``.  Expressing it
+    as a :class:`Range` instead of a mask-filtered dimension join keeps
+    the whole drill-down family on one plan (no per-query lookup to
+    fingerprint), which is what lets the semantic cache reuse partials
+    between e.g. the year=1993 scan and its month drill-downs.
+    """
+    return make_scan(
+        name,
+        And((
+            Range("lo_orderdate", date_lo, date_hi),
+            Range("lo_discount", disc_lo, disc_hi),
+            Range("lo_quantity", qty_lo, qty_hi),
+        )),
+    )
 
 
 # -- query flight 2: part x supplier x date --------------------------------
@@ -368,9 +438,14 @@ def q4_3(engine: CrystalEngine) -> dict[int, int]:
 QUERIES: dict[str, SSBQuery] = {
     q.name: q
     for q in (
-        SSBQuery("q1.1", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_1),
-        SSBQuery("q1.2", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_2),
-        SSBQuery("q1.3", ("lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"), q1_3),
+        # Flight 1 ships as declarative scans (date joins reduced to
+        # exact datekey ranges — see make_flight1): same answers, one
+        # shared plan family for coalescing and partial reuse.
+        # q1.1: d_year = 1993; q1.2: d_yearmonthnum = 199401;
+        # q1.3: week 6 of 1994 = Feb 5-11 (day-of-year 36..42).
+        make_flight1("q1.1", 19930101, 19931231, 1, 3, 0, 24),
+        make_flight1("q1.2", 19940101, 19940131, 4, 6, 26, 35),
+        make_flight1("q1.3", 19940205, 19940211, 5, 7, 36, 40),
         SSBQuery("q2.1", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_1),
         SSBQuery("q2.2", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_2),
         SSBQuery("q2.3", ("lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"), q2_3),

@@ -49,12 +49,23 @@ from repro.engine.crystal import (
     SSBQuery,
 )
 from repro.engine.lookup import Lookup
-from repro.engine.predicates import column_predicates
-from repro.formats.base import DecodeArena, TileCodec, corruption_guard
+from repro.engine.predicates import (
+    And,
+    ColumnPredicate,
+    canonical_key,
+    canonical_predicates,
+    column_predicates,
+)
+from repro.formats.base import (
+    DecodeArena,
+    TileCodec,
+    corruption_guard,
+    crc32_values,
+)
 from repro.formats.registry import get_codec
 from repro.formats.validate import CorruptTileError
 
-__all__ = ["DEFAULT_MORSEL_TILES", "TileStreamExecutor"]
+__all__ = ["DEFAULT_MORSEL_TILES", "StreamPlan", "TileStreamExecutor"]
 
 #: Engine tiles per morsel: 64 tiles = 32768 rows, a multiple of every
 #: codec tile size (including GPU-SIMDBP128's 4096-value blocks), so
@@ -85,10 +96,20 @@ class _PlanPipeline(FactPipeline):
     footprint exactly.
     """
 
-    def __init__(self, engine: CrystalEngine, name: str):
+    def __init__(self, engine: CrystalEngine, name: str, plan: "_PlanEngine | None" = None):
         super().__init__(engine, name, staged=False, rows=0, tiles=0)
         #: Tiles surviving pushdown over the whole fact table.
         self.global_tile_active = np.ones(engine.num_tiles, dtype=bool)
+        self._plan = plan
+        #: Operator trace of the plan pass, excluding predicate details:
+        #: loads, probes (by lookup index), raw filters and aggregates in
+        #: call order.  Together with the lookup fingerprints and the
+        #: query's name/plan_key this identifies *what* the plan computes;
+        #: the predicate conjuncts below identify *which rows* it keeps.
+        self.trace: list[tuple] = []
+        #: Every predicate conjunct the query applied (pushdown and exact
+        #: row filters), for canonicalization into the semantic key.
+        self.pred_conjuncts: list[ColumnPredicate] = []
 
     def _tile_read_bytes(self, name: str) -> np.ndarray:
         # Loads read nothing here: the morsels account the payload reads
@@ -100,9 +121,49 @@ class _PlanPipeline(FactPipeline):
     def _column_slice(self, name: str) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
 
+    def load(self, name: str) -> np.ndarray:
+        self.trace.append(("load", name))
+        return super().load(name)
+
+    def probe(self, lookup: Lookup, keys: np.ndarray) -> np.ndarray:
+        idx = -1
+        if self._plan is not None:
+            for i, (_, _, built) in enumerate(self._plan.lookups):
+                if built is lookup:
+                    idx = i
+                    break
+        self.trace.append(("probe", idx))
+        return super().probe(lookup, keys)
+
+    def filter(self, rowmask: np.ndarray) -> None:
+        self.trace.append(("filter",))
+        return super().filter(rowmask)
+
+    def filter_predicate(self, predicate, values) -> None:
+        self.pred_conjuncts.append(predicate)
+        return super().filter_predicate(predicate, values)
+
+    def group_sum(self, codes, weights, num_groups):
+        self.trace.append(("agg", "sum", int(num_groups)))
+        return super().group_sum(codes, weights, num_groups)
+
+    def total_sum(self, values):
+        self.trace.append(("agg", "sum", 1))
+        return super().total_sum(values)
+
+    def total_sum_product(self, a, b):
+        self.trace.append(("agg", "sum-product", 1))
+        return super().total_sum_product(a, b)
+
+    def group_aggregate(self, codes, values, num_groups, how="sum"):
+        if how not in ("sum", "count"):  # those delegate to group_sum
+            self.trace.append(("agg", how, int(num_groups)))
+        return super().group_aggregate(codes, values, num_groups, how=how)
+
     def filter_pushdown(self, predicate) -> int:
         self._check_open()
         preds = column_predicates(predicate)
+        self.pred_conjuncts.extend(preds)
         if not self.engine.pushdown or not preds:
             return 0
         engine = self.engine
@@ -226,11 +287,26 @@ class _PlanEngine:
         self.db = engine.db
         self.pushdown = engine.pushdown
         self.lookups: list[tuple[str, str, Lookup]] = []
+        #: Content fingerprints of the built lookups, in build order:
+        #: (table, key column, key base, payload CRC, payload size).  Two
+        #: plans probing differently-filtered dimensions (q3.1's nations
+        #: vs q3.2's cities) fingerprint differently even though their
+        #: operator traces look alike.
+        self.fingerprints: list[tuple] = []
         self.pipeline_obj: _PlanPipeline | None = None
 
     def build_lookup(self, table_name, key_col, **kwargs) -> Lookup:
         lookup = self._engine.build_lookup(table_name, key_col, **kwargs)
         self.lookups.append((table_name, key_col, lookup))
+        self.fingerprints.append(
+            (
+                table_name,
+                key_col,
+                int(lookup.key_base),
+                int(crc32_values(lookup.payload)),
+                int(lookup.payload.size),
+            )
+        )
         return lookup
 
     def replay_lookup(self, i: int, table_name: str, key_col: str) -> Lookup:
@@ -245,7 +321,7 @@ class _PlanEngine:
     def pipeline(self, name: str) -> _PlanPipeline:
         if self.pipeline_obj is not None:
             raise RuntimeError("streaming supports one pipeline per query")
-        self.pipeline_obj = _PlanPipeline(self._engine, name)
+        self.pipeline_obj = _PlanPipeline(self._engine, name, plan=self)
         return self.pipeline_obj
 
 
@@ -275,6 +351,33 @@ class _MorselEngine:
             raise RuntimeError("streaming supports one pipeline per query")
         self.pipeline_obj = _MorselPipeline(self._executor, name, self._morsel)
         return self.pipeline_obj
+
+
+@dataclass
+class StreamPlan:
+    """Everything the plan pass learned about one query, pre-execution.
+
+    The semantic result cache drives the executor through this object:
+    :meth:`TileStreamExecutor.plan` builds it, the cache decides which
+    morsels actually need to run, :meth:`TileStreamExecutor.run_morsels`
+    executes a subset, and :meth:`TileStreamExecutor.merge_parts`
+    combines cached and fresh partials bit-identically.
+
+    ``base_key`` identifies *what* the plan computes (query identity,
+    lookup content fingerprints, operator trace) while ``pred_key`` is
+    the canonicalized form of *which rows* it keeps — together they form
+    the semantic cache signature.
+    """
+
+    query: SSBQuery
+    engine_plan: _PlanEngine
+    ppipe: _PlanPipeline
+    plan_result: dict[int, int]
+    tile_active: np.ndarray
+    morsels: list[Morsel]
+    base_key: tuple
+    pred_key: tuple
+    predicates: tuple[ColumnPredicate, ...]
 
 
 def _mask_runs(mask: np.ndarray) -> list[tuple[int, int]]:
@@ -521,8 +624,8 @@ class TileStreamExecutor:
         wall_ms = (time.perf_counter() - t0) * 1e3
         return _MorselOutcome(result, mengine.pipeline_obj, wall_ms)
 
-    def execute(self, query: SSBQuery) -> dict[int, int]:
-        """Run ``query`` morsel-parallel; returns the merged aggregates."""
+    def plan(self, query: SSBQuery) -> StreamPlan:
+        """Run the zero-row plan pass and derive the semantic identity."""
         engine = self.engine
         plan = _PlanEngine(engine)
         plan_result = query.fn(plan)
@@ -537,17 +640,44 @@ class TileStreamExecutor:
         # workers only ever read them (bounds were warmed by pushdown).
         for name in query.columns:
             engine.tile_read_bytes(name)
+        # Queries may declare a plan_key grouping structurally identical
+        # plans (e.g. flight-1 drill-downs differing only in filters);
+        # otherwise the name keeps host-side arithmetic outside the
+        # predicate IR from ever aliasing across distinct queries.
+        plan_base = query.plan_key if query.plan_key is not None else ("query", query.name)
+        base_key = (plan_base, tuple(plan.fingerprints), tuple(ppipe.trace))
+        pred = And(tuple(ppipe.pred_conjuncts))
+        return StreamPlan(
+            query=query,
+            engine_plan=plan,
+            ppipe=ppipe,
+            plan_result=plan_result,
+            tile_active=self.tile_active,
+            morsels=self._partition(self.tile_active),
+            base_key=base_key,
+            pred_key=canonical_key(pred),
+            predicates=canonical_predicates(pred),
+        )
 
-        morsels = self._partition(self.tile_active)
-        t0 = time.perf_counter()
+    def run_morsels(
+        self, plan: StreamPlan, morsels: list[Morsel]
+    ) -> list[_MorselOutcome]:
+        """Execute a subset of the plan's morsels; outcomes align positionally.
+
+        The subset keeps the original morsel indices, so errors still
+        surface deterministically (first in global morsel order).
+        """
+        query, engine_plan = plan.query, plan.engine_plan
+        pos = {m.index: i for i, m in enumerate(morsels)}
         outcomes: list[_MorselOutcome] = [None] * len(morsels)  # type: ignore[list-item]
         if self.workers == 1 or len(morsels) <= 1:
             for m in morsels:
-                outcomes[m.index] = self._run_morsel(query, plan, m)
+                outcomes[pos[m.index]] = self._run_morsel(query, engine_plan, m)
         else:
             pool = self._ensure_pool()
             futures = [
-                (m, pool.submit(self._run_morsel, query, plan, m)) for m in morsels
+                (m, pool.submit(self._run_morsel, query, engine_plan, m))
+                for m in morsels
             ]
             # Gather every future before raising: a corrupt morsel must
             # not leave siblings running against shared arenas, and the
@@ -556,7 +686,7 @@ class TileStreamExecutor:
             errors: list[tuple[int, BaseException]] = []
             for m, fut in futures:
                 try:
-                    outcomes[m.index] = fut.result()
+                    outcomes[pos[m.index]] = fut.result()
                 except Exception as exc:
                     errors.append((m.index, exc))
             if errors:
@@ -564,29 +694,50 @@ class TileStreamExecutor:
                     self.metrics.inc("streaming_morsel_failures", len(errors))
                 errors.sort(key=lambda pair: pair[0])
                 raise errors[0][1]
-        exec_ms = (time.perf_counter() - t0) * 1e3
+        return outcomes
 
-        merged = self._merge(plan_result, outcomes)
-        self._price_fused_kernel(query, ppipe, [o.pipeline for o in outcomes])
-
+    def publish_stats(
+        self,
+        plan: StreamPlan,
+        outcomes: list[_MorselOutcome],
+        exec_ms: float,
+        cached_morsels: int = 0,
+    ) -> None:
+        """Record ``last_stats`` and metrics for one executed query."""
+        engine = self.engine
         peak = self.peak_decoded_bytes
         self.last_stats = {
-            "query": query.name,
+            "query": plan.query.name,
             "workers": self.workers,
             "morsel_tiles": self.morsel_tiles,
             "tiles_total": int(engine.num_tiles),
-            "tiles_active": int(np.count_nonzero(self.tile_active)),
-            "morsels": len(morsels),
+            "tiles_active": int(np.count_nonzero(plan.tile_active)),
+            "morsels": len(plan.morsels),
             "morsel_ms": [o.wall_ms for o in outcomes],
             "execute_ms": exec_ms,
             "peak_decoded_bytes": int(peak),
         }
+        if cached_morsels:
+            self.last_stats["cached_morsels"] = int(cached_morsels)
         if self.metrics is not None:
             self.metrics.inc("streaming_queries")
-            self.metrics.inc("streaming_morsels", len(morsels))
+            self.metrics.inc("streaming_morsels", len(outcomes))
             for o in outcomes:
                 self.metrics.observe("streaming_morsel_ms", o.wall_ms)
             self.metrics.gauge_max("streaming_peak_decoded_bytes", int(peak))
+
+    def execute(self, query: SSBQuery) -> dict[int, int]:
+        """Run ``query`` morsel-parallel; returns the merged aggregates."""
+        plan = self.plan(query)
+        t0 = time.perf_counter()
+        outcomes = self.run_morsels(plan, plan.morsels)
+        exec_ms = (time.perf_counter() - t0) * 1e3
+        merged = self.merge_parts(
+            plan.plan_result,
+            [(o.pipeline.agg_ops, o.result) for o in outcomes],
+        )
+        self._price_fused_kernel(query, plan.ppipe, [o.pipeline for o in outcomes])
+        self.publish_stats(plan, outcomes, exec_ms)
         return merged
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -606,10 +757,16 @@ class TileStreamExecutor:
     # -- merge + pricing ----------------------------------------------------
 
     @staticmethod
-    def _merge(
-        plan_result: dict[int, int], outcomes: list[_MorselOutcome]
+    def merge_parts(
+        plan_result: dict[int, int],
+        parts: list[tuple[list[str], dict[int, int]]],
     ) -> dict[int, int]:
         """Merge partials in morsel order with exact integer arithmetic.
+
+        Each part is ``(agg_ops, result)`` — the aggregate merge ops a
+        partial's pipeline recorded plus its result dict — so cached
+        partials (which outlive their pipelines) merge through the same
+        code path as fresh morsel outcomes.
 
         The plan pass's zero-row result seeds the merge: it is the
         aggregate's identity ({0: 0} for total sums, {} for grouped), so
@@ -618,15 +775,15 @@ class TileStreamExecutor:
         the result is independent of worker count and bit-identical to
         the materialized single-pass answer.
         """
-        ops = {op for o in outcomes for op in o.pipeline.agg_ops}
+        ops = {op for agg_ops, _ in parts for op in agg_ops}
         if not ops:
             return dict(plan_result)
         if len(ops) > 1:
             raise RuntimeError(f"cannot merge mixed aggregate ops {sorted(ops)}")
         op = ops.pop()
         merged = {int(k): int(v) for k, v in plan_result.items()}
-        for o in outcomes:
-            for code, val in o.result.items():
+        for _, result in parts:
+            for code, val in result.items():
                 code, val = int(code), int(val)
                 if op == "sum":
                     merged[code] = merged.get(code, 0) + val

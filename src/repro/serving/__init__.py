@@ -14,6 +14,9 @@ multi-tenant server:
   compatible requests into one execution.
 * :class:`~repro.serving.metrics.MetricsRegistry` — the shared counters,
   gauges and latency percentiles both components export.
+* :class:`~repro.serving.semcache.SemanticResultCache` — a byte-budgeted
+  semantic result cache of per-tile-span partial aggregates, reused
+  across queries whose canonicalized predicates provably agree per tile.
 """
 
 from repro.serving.faults import (
@@ -37,9 +40,16 @@ from repro.serving.scheduler import (
     ServerClosed,
     ServerSaturated,
 )
+from repro.serving.semcache import (
+    DEFAULT_SEMCACHE_BUDGET,
+    CachedPartial,
+    SemanticResultCache,
+)
 
 __all__ = [
+    "CachedPartial",
     "ColumnPool",
+    "DEFAULT_SEMCACHE_BUDGET",
     "EvictionRecord",
     "FAULT_MODES",
     "FaultInjector",
@@ -47,6 +57,7 @@ __all__ = [
     "PoolAdmissionError",
     "QueryServer",
     "Resident",
+    "SemanticResultCache",
     "ServeRequest",
     "ServedResult",
     "ServerClosed",

@@ -44,10 +44,13 @@ from repro.serving.metrics import MetricsRegistry
 #: ``scratch`` entries are accounting-only mirrors of working memory held
 #: elsewhere (e.g. streaming decode arenas); evicting one fires its
 #: ``release`` callback so the mirrored bytes are actually freed.
-KINDS = ("meta", "decoded", "compressed", "scratch")
+#: ``partial`` entries are semantic-cache partial aggregates — always
+#: recomputable by re-running the covering morsels, so they evict with
+#: the other reconstructible kinds under the same greedy-dual score.
+KINDS = ("meta", "decoded", "compressed", "scratch", "partial")
 #: Kinds that can be rebuilt from another resident (or the host copy)
 #: without losing data — always evicted before compressed images.
-RECONSTRUCTIBLE_KINDS = frozenset({"meta", "decoded", "scratch"})
+RECONSTRUCTIBLE_KINDS = frozenset({"meta", "decoded", "scratch", "partial"})
 
 
 class PoolAdmissionError(RuntimeError):

@@ -38,13 +38,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.random_access import gather
-from repro.engine.crystal import CrystalEngine
+from repro.engine.crystal import CrystalEngine, SSBQuery
 from repro.engine.ssb_queries import QUERIES
 from repro.formats.validate import CorruptTileError
 from repro.gpusim.executor import GPUDevice
 from repro.serving.faults import TransientDecodeError
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.pool import ColumnPool, PoolAdmissionError
+from repro.serving.semcache import DEFAULT_SEMCACHE_BUDGET, SemanticResultCache
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
 
@@ -67,6 +68,9 @@ class ServeRequest:
     #: Simulated ms this request will wait in queue before giving up
     #: (``None``: wait forever).
     timeout_ms: float | None = None
+    #: The query object itself — an ad-hoc :class:`SSBQuery` not in the
+    #: registry, or resolved from ``name`` at admission.
+    query: SSBQuery | None = None
     #: Stamped at admission: request id and the serving clock.
     id: int = field(default=-1, compare=False)
     submitted_ms: float = field(default=0.0, compare=False)
@@ -74,17 +78,29 @@ class ServeRequest:
     def __post_init__(self) -> None:
         if self.kind not in ("query", "lookup"):
             raise ValueError(f"unknown request kind {self.kind!r}")
-        if self.kind == "query" and self.name not in QUERIES:
-            raise ValueError(f"unknown SSB query {self.name!r}")
+        if self.kind == "query":
+            if self.query is None:
+                if self.name not in QUERIES:
+                    raise ValueError(f"unknown SSB query {self.name!r}")
+                self.query = QUERIES[self.name]
+            else:
+                self.name = self.query.name
         if self.kind == "lookup":
             if self.indices is None:
                 raise ValueError("lookup requests need indices")
             self.indices = np.asarray(self.indices, dtype=np.int64)
 
     @property
-    def batch_key(self) -> tuple[str, str]:
-        """Requests sharing this key execute as one group."""
-        return (self.kind, self.name)
+    def batch_key(self) -> tuple:
+        """Requests sharing this key execute as one group.
+
+        Queries group by :meth:`SSBQuery.semantic_key`, not by name: two
+        requests whose predicates canonicalize identically (however
+        differently they were spelled) coalesce into one execution.
+        """
+        if self.kind == "query":
+            return ("query", self.query.semantic_key())
+        return ("lookup", self.name)
 
 
 @dataclass
@@ -139,6 +155,8 @@ class QueryServer:
         verify_cached: bool = False,
         kernel_backend: str | None = None,
         trim_arenas_when_idle: bool = True,
+        semantic_cache: bool = False,
+        semcache_budget_bytes: int | None = None,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -171,6 +189,22 @@ class QueryServer:
         # the serving latency series.
         self.engine.metrics = self.metrics
         self.engine.verify_cached = verify_cached
+        #: Optional semantic result cache reusing per-tile-span partial
+        #: aggregates across overlapping queries (see serving.semcache).
+        self.semcache: SemanticResultCache | None = None
+        if semantic_cache:
+            if not streaming:
+                raise ValueError(
+                    "semantic_cache requires streaming=True: partials are "
+                    "cached at morsel granularity"
+                )
+            self.semcache = SemanticResultCache(
+                semcache_budget_bytes
+                if semcache_budget_bytes is not None
+                else DEFAULT_SEMCACHE_BUDGET,
+                metrics=self.metrics,
+            )
+            self.engine.semcache = self.semcache
         #: Release streaming decode-arena scratch when the scheduler
         #: thread has seen the queue empty for consecutive waits.
         self.trim_arenas_when_idle = trim_arenas_when_idle
@@ -249,11 +283,15 @@ class QueryServer:
             self._not_empty.notify()
             return ticket.future
 
-    def query(self, name: str, timeout_ms: float | None = None,
+    def query(self, name: "str | SSBQuery", timeout_ms: float | None = None,
               block_s: float | None = None) -> Future:
-        """Submit one SSB query by name."""
-        return self.submit(ServeRequest("query", name, timeout_ms=timeout_ms),
-                           block_s=block_s)
+        """Submit one SSB query, by registry name or as an object."""
+        if isinstance(name, SSBQuery):
+            request = ServeRequest("query", name.name, query=name,
+                                   timeout_ms=timeout_ms)
+        else:
+            request = ServeRequest("query", name, timeout_ms=timeout_ms)
+        return self.submit(request, block_s=block_s)
 
     def lookup(self, column: str, indices: np.ndarray,
                timeout_ms: float | None = None,
@@ -388,17 +426,20 @@ class QueryServer:
     # -- execution ---------------------------------------------------------
 
     def _process(self, batch: list[_Ticket]) -> None:
-        groups: dict[tuple[str, str], list[_Ticket]] = {}
+        groups: dict[tuple, list[_Ticket]] = {}
         for ticket in batch:
             groups.setdefault(ticket.request.batch_key, []).append(ticket)
-        for (kind, name), tickets in groups.items():
+        for tickets in groups.values():
+            # Any member's request describes the whole group: equal batch
+            # keys mean semantically identical work.
+            rep = tickets[0].request
             with self._state_lock:
                 start_ms = self._clock_ms
             live = self._expire(tickets, start_ms)
             if not live:
                 continue
             blocked = [
-                c for c in self._group_columns(kind, name) if c in self._quarantined
+                c for c in self._group_columns(rep) if c in self._quarantined
             ]
             if blocked:
                 reason = self._quarantined[blocked[0]]
@@ -413,7 +454,7 @@ class QueryServer:
                     )
                 continue
             try:
-                execute_ms, payloads = self._execute_group_resilient(kind, name, live)
+                execute_ms, payloads = self._execute_group_resilient(rep, live)
             except PoolAdmissionError as exc:
                 for ticket in live:
                     self.metrics.inc("server_pool_rejections")
@@ -477,14 +518,14 @@ class QueryServer:
         return live
 
     @staticmethod
-    def _group_columns(kind: str, name: str) -> tuple[str, ...]:
-        """The store columns a (kind, name) group will touch."""
-        if kind == "query":
-            return QUERIES[name].columns
-        return (name,)
+    def _group_columns(request: ServeRequest) -> tuple[str, ...]:
+        """The store columns a request's group will touch."""
+        if request.kind == "query":
+            return request.query.columns
+        return (request.name,)
 
     def _execute_group_resilient(
-        self, kind: str, name: str, live: list[_Ticket]
+        self, rep: ServeRequest, live: list[_Ticket]
     ) -> tuple[float, list[dict]]:
         """Run one group with bounded retry and corruption recovery.
 
@@ -503,10 +544,10 @@ class QueryServer:
         while True:
             try:
                 with self._engine_lock:
-                    if kind == "query":
-                        execute_ms, payloads = self._run_query_group(name, live)
+                    if rep.kind == "query":
+                        execute_ms, payloads = self._run_query_group(rep.query, live)
                     else:
-                        execute_ms, payloads = self._run_lookup_group(name, live)
+                        execute_ms, payloads = self._run_lookup_group(rep.name, live)
                 return execute_ms + backoff_ms, payloads
             except TransientDecodeError:
                 self.metrics.inc("server_transient_retries")
@@ -548,9 +589,8 @@ class QueryServer:
         return self.pool.pinned(*(f"compressed/{c}" for c in columns))
 
     def _run_query_group(
-        self, name: str, tickets: list[_Ticket]
+        self, query: SSBQuery, tickets: list[_Ticket]
     ) -> tuple[float, list[dict]]:
-        query = QUERIES[name]
         before = self.device.elapsed_ms
         with self._place_pinned(query.columns):
             result = self.engine.run(query)

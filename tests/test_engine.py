@@ -159,7 +159,9 @@ class TestEngineAccounting:
         result = engine.run(QUERIES["q1.1"])
         assert result.name == "q1.1"
         assert result.system == "none"
-        assert result.kernel_count == 2  # date build + fact kernel
+        # One fused fact kernel: the flight-1 date join is expressed as
+        # an exact datekey range, so no dimension build kernel runs.
+        assert result.kernel_count == 1
         assert result.simulated_ms > 0
         assert result.scaled_ms(1.0) == pytest.approx(result.simulated_ms)
 
