@@ -28,6 +28,7 @@ from repro.experiments import (
     interconnect_sweep,
     lightweight_vs_entropy,
     multigpu_scaling,
+    sharding_workload,
     opt_ladder,
     planner_obsolete,
     pushdown_sweep,
@@ -57,12 +58,13 @@ EXPERIMENTS = {
     "planner_obsolete": (planner_obsolete, "claims — §1: pick-by-ratio is safe under tile decode"),
     "pushdown": (pushdown_sweep, "extension — metadata tile skipping vs selectivity"),
     "interconnect": (interconnect_sweep, "extension — coprocessor speedup vs link generation"),
-    "multigpu": (multigpu_scaling, "extension — sharded decompression scaling"),
+    "multigpu": (multigpu_scaling, "extension — sharded SSB scan scaling"),
     "entropy": (lightweight_vs_entropy, "claims — §2.2: lightweight captures most gains"),
     "serving": (serving_workload, "extension — serving layer: pool + scheduler under load"),
     "streaming": (streaming_scan, "extension — morsel streaming vs materialized execution"),
     "semcache": (semcache_workload, "extension — semantic result cache: drill-down reuse"),
     "faults": (fault_injection, "extension — corruption matrix + fault-injected serving"),
+    "sharding": (sharding_workload, "extension — sharded serving: tile-range shards + zone-map routing"),
 }
 
 

@@ -479,6 +479,26 @@ class CrystalEngine:
             mins, maxs = out_lo, out_hi
         return mins, maxs
 
+    def surviving_tiles(self, predicate) -> np.ndarray:
+        """Engine tiles a declared predicate cannot prove empty.
+
+        The routing form of pushdown: the same zone maps
+        :meth:`FactPipeline.filter_pushdown` consults, evaluated against
+        a query's declared predicate IR without running any plan.  A
+        shard router intersects this with each shard's tile range to
+        skip shards the query provably cannot touch.  ``None`` (or
+        pushdown disabled) keeps every tile — always sound.
+        """
+        active = np.ones(self.num_tiles, dtype=bool)
+        if predicate is None or not self.pushdown:
+            return active
+        for pred in column_predicates(predicate):
+            if pred.column not in self.store.columns:
+                continue
+            mins, maxs = self.column_tile_bounds(pred.column)
+            active &= pred.tile_may_match(mins, maxs)
+        return active
+
     def evict_decoded(self) -> None:
         """Drop every decoded image while keeping derived metadata.
 

@@ -378,6 +378,10 @@ class StreamPlan:
     base_key: tuple
     pred_key: tuple
     predicates: tuple[ColumnPredicate, ...]
+    #: Aggregate merge ops derived from the plan trace — available even
+    #: when every morsel is pruned (a zero-morsel shard still knows it
+    #: computes a sum), so cross-shard merges never lose the identity.
+    agg_ops: tuple[str, ...] = ()
 
 
 def _mask_runs(mask: np.ndarray) -> list[tuple[int, int]]:
@@ -400,16 +404,30 @@ class TileStreamExecutor:
         workers: int = 4,
         morsel_tiles: int | None = None,
         metrics=None,
+        tile_span: tuple[int, int] | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         morsel_tiles = DEFAULT_MORSEL_TILES if morsel_tiles is None else morsel_tiles
         if morsel_tiles < 1:
             raise ValueError(f"morsel_tiles must be >= 1, got {morsel_tiles}")
+        if tile_span is not None:
+            lo, hi = int(tile_span[0]), int(tile_span[1])
+            if not (0 <= lo <= hi <= engine.num_tiles):
+                raise ValueError(
+                    f"tile_span {tile_span} outside [0, {engine.num_tiles}]"
+                )
+            tile_span = (lo, hi)
         self.engine = engine
         self.workers = workers
         self.morsel_tiles = morsel_tiles
         self.metrics = metrics
+        #: Engine-tile range ``[lo, hi)`` this executor is restricted to
+        #: (``None`` = the whole fact table).  A sharded serving layer
+        #: gives each shard's executor its tile span; plans then skip
+        #: tiles outside it and the fused kernel is priced over the span
+        #: only, so per-shard work genuinely shrinks with the shard.
+        self.tile_span = tile_span
         #: Surviving tile grid of the most recent execute() (plan pass).
         self.tile_active = np.ones(0, dtype=bool)
         #: Stats of the most recent execute() call.
@@ -591,13 +609,20 @@ class TileStreamExecutor:
 
     # -- orchestration ------------------------------------------------------
 
+    def _span(self) -> tuple[int, int]:
+        """The executor's engine-tile range ``[lo, hi)``."""
+        if self.tile_span is not None:
+            return self.tile_span
+        return (0, self.engine.num_tiles)
+
     def _partition(self, tile_active: np.ndarray) -> list[Morsel]:
         """Contiguous fixed-width morsels; fully-pruned windows are skipped
         wholesale (the streaming counterpart of tile skipping)."""
         engine = self.engine
+        span_lo, span_hi = self._span()
         morsels: list[Morsel] = []
-        for tile_lo in range(0, engine.num_tiles, self.morsel_tiles):
-            tile_hi = min(tile_lo + self.morsel_tiles, engine.num_tiles)
+        for tile_lo in range(span_lo, span_hi, self.morsel_tiles):
+            tile_hi = min(tile_lo + self.morsel_tiles, span_hi)
             if not tile_active[tile_lo:tile_hi].any():
                 continue
             morsels.append(
@@ -635,7 +660,14 @@ class TileStreamExecutor:
                 f"query {query.name} did not run a FactPipeline plan; "
                 f"streaming needs a pipeline-based query function"
             )
-        self.tile_active = ppipe.global_tile_active
+        active = ppipe.global_tile_active
+        if self.tile_span is not None:
+            # Restrict to the shard's span without mutating the global
+            # pushdown result (the plan pipeline's accounting keeps it).
+            active = active.copy()
+            active[: self.tile_span[0]] = False
+            active[self.tile_span[1] :] = False
+        self.tile_active = active
         # Warm the shared metadata caches from the coordinator so morsel
         # workers only ever read them (bounds were warmed by pushdown).
         for name in query.columns:
@@ -646,6 +678,10 @@ class TileStreamExecutor:
         # predicate IR from ever aliasing across distinct queries.
         plan_base = query.plan_key if query.plan_key is not None else ("query", query.name)
         base_key = (plan_base, tuple(plan.fingerprints), tuple(ppipe.trace))
+        if self.tile_span is not None:
+            # Partials of different shards must never alias in a shared
+            # semantic cache: the span is part of what the plan computes.
+            base_key = base_key + (("span",) + self.tile_span,)
         pred = And(tuple(ppipe.pred_conjuncts))
         return StreamPlan(
             query=query,
@@ -657,6 +693,12 @@ class TileStreamExecutor:
             base_key=base_key,
             pred_key=canonical_key(pred),
             predicates=canonical_predicates(pred),
+            agg_ops=tuple(
+                "sum" if op in ("sum", "sum-product", "count") else op
+                for entry in ppipe.trace
+                if entry[0] == "agg"
+                for op in (entry[1],)
+            ),
         )
 
     def run_morsels(
@@ -706,16 +748,19 @@ class TileStreamExecutor:
         """Record ``last_stats`` and metrics for one executed query."""
         engine = self.engine
         peak = self.peak_decoded_bytes
+        span_lo, span_hi = self._span()
         self.last_stats = {
             "query": plan.query.name,
             "workers": self.workers,
             "morsel_tiles": self.morsel_tiles,
             "tiles_total": int(engine.num_tiles),
+            "tiles_span": int(span_hi - span_lo),
             "tiles_active": int(np.count_nonzero(plan.tile_active)),
             "morsels": len(plan.morsels),
             "morsel_ms": [o.wall_ms for o in outcomes],
             "execute_ms": exec_ms,
             "peak_decoded_bytes": int(peak),
+            "agg_ops": list(plan.agg_ops),
         }
         if cached_morsels:
             self.last_stats["cached_morsels"] = int(cached_morsels)
@@ -829,9 +874,14 @@ class TileStreamExecutor:
         else:
             gathers = list(ppipe._gathers)
         regs = 14 + ppipe._extra_regs + ppipe._decode_regs
+        # The fused kernel's grid covers only this executor's tile span:
+        # a shard launches one block per *its* tiles, not the whole fact
+        # table's, so shard wall-clock scales down with the shard.
+        span_lo, span_hi = self._span()
+        span_tiles = max(1, span_hi - span_lo)
         with engine.device.launch(
             f"fact-{ppipe.name}",
-            grid_blocks=max(1, engine.num_tiles),
+            grid_blocks=span_tiles,
             block_threads=BLOCK_THREADS,
             registers_per_thread=regs,
             shared_mem_per_block=ppipe._smem,
@@ -842,5 +892,5 @@ class TileStreamExecutor:
                 k.write_linear(write)
             for count, eb, region in gathers:
                 k.read_gather(count, eb, region)
-            k.compute(compute + engine.num_tiles * 600)
+            k.compute(compute + span_tiles * 600)
             k.shared(shared + live * 4)

@@ -1,87 +1,103 @@
-"""Extension — multi-GPU decompression scaling (the §1 sharding story).
+"""Extension — multi-GPU sharded scan scaling (the §1 sharding story).
 
 The paper motivates compression with working sets sharded across several
-GPUs.  Tile independence makes the schemes trivially shardable: blocks of
-tiles go round-robin to devices, each device decodes its shard with the
-ordinary single-pass kernel, and wall-clock time is the slowest shard.
+GPUs.  Tile independence makes the schemes trivially shardable, and the
+serving layer's :class:`~repro.serving.sharding.ShardRouter` now does the
+real thing: each compressed column is split tile-range-wise over N
+simulated V100s, every shard streams its tile span through the fused
+scan kernel, and per-shard partial aggregates are all-gathered over the
+modeled interconnect.
 
-This experiment decompresses a large column on 1/2/4/8 simulated V100s
-and reports wall-clock speedup and aggregate capacity — near-linear
-scaling, because tile-based decompression has no cross-tile dependence to
-serialize (contrast a whole-column delta chain, which would not shard).
+This experiment pushes a scan-heavy SSB mix (broad flight-1 scans plus a
+couple of hot key-range scans that zone maps route to a shard subset)
+through the router at 1/2/4/8 devices.  Walls are projected to the
+paper-scale 500M-row column: the per-query fused-kernel launch overhead
+is row-count independent, everything else (decode, filter, merge) is
+data-proportional.  Scaling is near-linear because tile-based decoding
+has no cross-tile dependence to serialize — the residue is the fixed
+launch overhead, the all-gather, and the routing skew the key scans
+introduce.  Answers are bit-identical at every device count.
 """
 
 from __future__ import annotations
 
 from repro.experiments.common import PAPER_N_LADDER, print_experiment
-from repro.formats.base import TileCodec
-from repro.formats.registry import get_codec
-from repro.gpusim.multigpu import ShardedDevice
-from repro.workloads.synthetic import uniform_bitwidth
+from repro.engine.ssb_queries import make_flight1
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.sharding import ShardRouter
+from repro.ssb.dbgen import generate
+from repro.ssb.loader import load_lineorder
 
 DEVICE_COUNTS = (1, 2, 4, 8)
 
 
-def run(n: int = 1_000_000, seed: int = 0) -> list[dict]:
-    """Sharded decompression wall-clock per device count (500M-projected)."""
-    data = uniform_bitwidth(16, n, seed)
-    codec = get_codec("gpu-for")
-    assert isinstance(codec, TileCodec)
-    enc = codec.encode(data)
-    scale = PAPER_N_LADDER / n
+def _scan_mix(db) -> list:
+    """Broad flight-1 scans (fan out everywhere) plus two hot key scans
+    over the sorted ``lo_orderkey`` prefix (routed to the low shards)."""
+    from repro.experiments.sharding_workload import make_key_scan
 
-    res = codec.kernel_resources(enc)
-    n_tiles = codec.num_tiles(enc)
-    starts, lengths = codec.tile_segments(enc)
-    compressed_bytes = enc.nbytes
+    keys = db.lineorder["lo_orderkey"]
+    hot_hi = int(keys[keys.size // 8])
+    mid_hi = int(keys[keys.size // 5])
+    return [
+        make_flight1("mg-scan-93", 19930101, 19931231, 1, 3, 0, 24),
+        make_flight1("mg-scan-94", 19940101, 19941231, 4, 6, 26, 35),
+        make_flight1("mg-scan-95", 19950101, 19951231, 5, 7, 26, 35),
+        make_flight1("mg-scan-all", 19930101, 19971231, 1, 7, 0, 50),
+        make_key_scan("mg-key-hot", int(keys[0]), hot_hi),
+        make_key_scan("mg-key-mid", hot_hi, mid_hi),
+    ]
 
-    def decode_shard(device, shard_tiles: int) -> None:
-        if shard_tiles == 0:
-            return
-        fraction = shard_tiles / n_tiles
-        with device.launch(
-            "decode-shard",
-            grid_blocks=shard_tiles,
-            block_threads=128,
-            registers_per_thread=res.registers_per_thread,
-            shared_mem_per_block=res.shared_mem_per_block,
-        ) as k:
-            sel = slice(0, shard_tiles)  # round-robin shards are uniform
-            k.read_segments(starts[sel], lengths[sel])
-            k.read_segments(
-                starts[n_tiles : n_tiles + shard_tiles],
-                lengths[n_tiles : n_tiles + shard_tiles],
-            )
-            k.write_linear(int(enc.count * 4 * fraction))
-            k.compute(
-                int(res.compute_ops_per_element * enc.count * fraction
-                    + res.tile_prologue_ops * shard_tiles)
-            )
 
-    rows = []
+def run(n: int = 1_000_000, seed: int = 0,
+        device_counts: tuple[int, ...] = DEVICE_COUNTS) -> list[dict]:
+    """Sharded scan wall-clock per device count (500M-row projected)."""
+    db = generate(scale_factor=max(n / 6_000_000, 0.002), seed=7)
+    store = load_lineorder(db, "gpu-star")
+    queries = _scan_mix(db)
+    columns = sorted({c for q in queries for c in q.columns})
+    scale = PAPER_N_LADDER / db.num_lineorder_rows
+
+    rows: list[dict] = []
+    expected = None
     single_ms = None
-    for devices in DEVICE_COUNTS:
-        sharded = ShardedDevice(num_devices=devices)
-        sharded.run_sharded(decode_shard, n_tiles)
-        overhead = sharded.spec.kernel_launch_us / 1000.0
-        wall = (sharded.elapsed_ms - overhead) * scale + overhead
+    launch_ms = None
+    for devices in device_counts:
+        metrics = MetricsRegistry()
+        router = ShardRouter(db, store, devices, metrics=metrics)
+        if launch_ms is None:
+            launch_ms = router.sharded.spec.kernel_launch_us / 1000.0
+        router.place_columns(columns)  # warm the pools off the clock
+        wall = 0.0
+        answers = []
+        for query in queries:
+            groups, execute_ms = router.execute(query)
+            wall += execute_ms
+            answers.append(groups)
+        if expected is None:
+            expected = answers
+        assert answers == expected, f"answers drifted at {devices} devices"
+        fixed = len(queries) * launch_ms
+        projected = fixed + max(0.0, wall - fixed) * scale
         if single_ms is None:
-            single_ms = wall
+            single_ms = projected
         rows.append(
             {
                 "devices": devices,
-                "wall_ms": wall,
-                "speedup": single_ms / wall,
-                "capacity_GB": sharded.capacity_bytes / 1024**3,
-                "compressed_MB": compressed_bytes * scale / 1e6,
+                "wall_ms": projected,
+                "speedup": single_ms / projected,
+                "capacity_GB": router.capacity_bytes / 1024**3,
+                "skew": metrics.snapshot().get("router_routing_skew", 1.0),
+                "compressed_MB": store.total_bytes * scale / 1e6,
             }
         )
+        router.close()
     return rows
 
 
 def main() -> None:
     print_experiment(
-        "Extension — multi-GPU sharded decompression (500M ints, b=16)", run()
+        "Extension — multi-GPU sharded SSB scans (500M-row projected)", run()
     )
 
 

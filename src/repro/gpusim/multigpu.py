@@ -36,11 +36,45 @@ class ShardedDevice:
         self.devices = [GPUDevice(spec=self.spec) for _ in range(self.num_devices)]
         self._merge_ms = 0.0
 
-    def shard_sizes(self, total: int) -> list[int]:
-        """Round-robin split of ``total`` items over the devices."""
-        base = total // self.num_devices
-        extra = total % self.num_devices
-        return [base + (1 if i < extra else 0) for i in range(self.num_devices)]
+    def shard_sizes(self, total: int, tile: int = 1) -> list[int]:
+        """Split ``total`` items over the devices on ``tile`` boundaries.
+
+        With the default ``tile=1`` this is the raw even split (sizes
+        differ by at most one item).  A larger ``tile`` — the codec's
+        tile size, or the LCM of several codecs' tile sizes — keeps every
+        shard boundary a tile multiple, so no codec tile ever straddles
+        two devices: only the final shard may end mid-tile, on the
+        column's own ragged tail.  Sizes always sum to ``total``; devices
+        past the tile count get empty shards.
+        """
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        if tile < 1:
+            raise ValueError(f"tile must be >= 1, got {tile}")
+        if tile == 1:
+            base = total // self.num_devices
+            extra = total % self.num_devices
+            return [base + (1 if i < extra else 0) for i in range(self.num_devices)]
+        num_tiles = -(-total // tile)
+        base = num_tiles // self.num_devices
+        extra = num_tiles % self.num_devices
+        sizes = []
+        remaining = total
+        for i in range(self.num_devices):
+            tiles = base + (1 if i < extra else 0)
+            size = min(tiles * tile, remaining)
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    def shard_bounds(self, total: int, tile: int = 1) -> list[tuple[int, int]]:
+        """``[lo, hi)`` item ranges per device, from :meth:`shard_sizes`."""
+        bounds = []
+        lo = 0
+        for size in self.shard_sizes(total, tile=tile):
+            bounds.append((lo, lo + size))
+            lo += size
+        return bounds
 
     def run_sharded(self, fn, total_items: int, *args, **kwargs) -> list:
         """Run ``fn(device, shard_items, *args)`` on every device's shard.

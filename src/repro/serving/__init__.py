@@ -17,6 +17,11 @@ multi-tenant server:
 * :class:`~repro.serving.semcache.SemanticResultCache` — a byte-budgeted
   semantic result cache of per-tile-span partial aggregates, reused
   across queries whose canonicalized predicates provably agree per tile.
+* :class:`~repro.serving.sharding.ShardRouter` — multi-GPU serving:
+  columns partitioned tile-range-wise over N simulated devices, queries
+  routed only to shards surviving zone-map pushdown, per-shard partials
+  scatter-gathered over the modeled interconnect (bit-identical answers
+  at every shard count).
 """
 
 from repro.serving.faults import (
@@ -25,7 +30,12 @@ from repro.serving.faults import (
     TransientDecodeError,
     copy_encoded,
 )
-from repro.serving.metrics import MetricsRegistry, metrics_rows, percentile
+from repro.serving.metrics import (
+    MetricsRegistry,
+    labeled,
+    metrics_rows,
+    percentile,
+)
 from repro.serving.pool import (
     ColumnPool,
     EvictionRecord,
@@ -45,10 +55,16 @@ from repro.serving.semcache import (
     CachedPartial,
     SemanticResultCache,
 )
+from repro.serving.sharding import (
+    ColumnShard,
+    ShardRouter,
+    codec_tile_alignment,
+)
 
 __all__ = [
     "CachedPartial",
     "ColumnPool",
+    "ColumnShard",
     "DEFAULT_SEMCACHE_BUDGET",
     "EvictionRecord",
     "FAULT_MODES",
@@ -62,9 +78,12 @@ __all__ = [
     "ServedResult",
     "ServerClosed",
     "ServerSaturated",
+    "ShardRouter",
     "TransientDecodeError",
+    "codec_tile_alignment",
     "copy_encoded",
     "estimate_decode_cost_ms",
+    "labeled",
     "metrics_rows",
     "percentile",
 ]

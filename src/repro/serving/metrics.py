@@ -25,6 +25,20 @@ from typing import Sequence
 import numpy as np
 
 
+def labeled(name: str, labels: "dict | None" = None) -> str:
+    """Prometheus-style metric key: ``name{k=v,...}`` (sorted by label).
+
+    The label set becomes part of the flat key, so labeled and unlabeled
+    metrics coexist in one registry and one scrape: a per-shard counter
+    ``shard_queue_depth{shard=2}`` never collides with — and never
+    changes — an existing unlabeled ``shard_queue_depth``.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0..100) by linear interpolation.
 
@@ -93,18 +107,21 @@ class MetricsRegistry:
 
     # -- writes ------------------------------------------------------------
 
-    def inc(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to a monotonic counter."""
+    def inc(self, name: str, amount: int = 1, labels: dict | None = None) -> None:
+        """Add ``amount`` to a monotonic counter (optionally labeled)."""
         with self._lock:
-            self._counters[name] += amount
+            self._counters[labeled(name, labels)] += amount
 
-    def gauge(self, name: str, value: float) -> None:
-        """Set a gauge to its current value."""
+    def gauge(self, name: str, value: float, labels: dict | None = None) -> None:
+        """Set a gauge to its current value (optionally labeled)."""
         with self._lock:
-            self._gauges[name] = value
+            self._gauges[labeled(name, labels)] = value
 
-    def gauge_max(self, name: str, value: float) -> None:
+    def gauge_max(
+        self, name: str, value: float, labels: dict | None = None
+    ) -> None:
         """Raise a high-watermark gauge to ``value`` if it is higher."""
+        name = labeled(name, labels)
         with self._lock:
             if value > self._gauges.get(name, float("-inf")):
                 self._gauges[name] = value
@@ -115,8 +132,11 @@ class MetricsRegistry:
         with self._lock:
             self._infos[name] = str(value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, labels: dict | None = None
+    ) -> None:
         """Append one observation (e.g. a latency) to a series."""
+        name = labeled(name, labels)
         with self._lock:
             series = self._series.get(name)
             if series is None:
@@ -125,19 +145,21 @@ class MetricsRegistry:
 
     # -- reads -------------------------------------------------------------
 
-    def counter(self, name: str) -> int:
+    def counter(self, name: str, labels: dict | None = None) -> int:
         with self._lock:
-            return self._counters.get(name, 0)
+            return self._counters.get(labeled(name, labels), 0)
 
-    def gauge_value(self, name: str, default: float = 0.0) -> float:
+    def gauge_value(
+        self, name: str, default: float = 0.0, labels: dict | None = None
+    ) -> float:
         with self._lock:
-            return self._gauges.get(name, default)
+            return self._gauges.get(labeled(name, labels), default)
 
     def info_value(self, name: str, default: str = "") -> str:
         with self._lock:
             return self._infos.get(name, default)
 
-    def series(self, name: str) -> list[float]:
+    def series(self, name: str, labels: dict | None = None) -> list[float]:
         """The retained observations of one series, oldest first.
 
         The lock covers only the bulk copy of the ring; the (much
@@ -145,13 +167,15 @@ class MetricsRegistry:
         scrape of a full 100k-entry series never stalls ``observe``.
         """
         with self._lock:
-            series = self._series.get(name)
+            series = self._series.get(labeled(name, labels))
             values = None if series is None else series.ordered_copy()
         return [] if values is None else values.tolist()
 
-    def series_percentile(self, name: str, q: float) -> float:
+    def series_percentile(
+        self, name: str, q: float, labels: dict | None = None
+    ) -> float:
         with self._lock:
-            series = self._series.get(name)
+            series = self._series.get(labeled(name, labels))
             values = None if series is None else series.ordered_copy()
         if values is None:
             return percentile([], q)

@@ -103,17 +103,29 @@ class ColumnPool:
         self,
         budget_bytes: int,
         metrics: MetricsRegistry | None = None,
+        metric_labels: dict | None = None,
     ):
         if budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
         self.budget_bytes = budget_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Labels stamped on every metric this pool writes (e.g.
+        #: ``{"shard": 2}``), so several pools — one per shard — share a
+        #: registry without clobbering each other's gauges.  ``None``
+        #: keeps the unlabeled keys existing scrapes read.
+        self.metric_labels = dict(metric_labels) if metric_labels else None
         self._lock = threading.RLock()
         self._residents: dict[str, Resident] = {}
         self._tick = 0
         self.eviction_log: list[EvictionRecord] = []
-        self.metrics.gauge("pool_budget_bytes", budget_bytes)
+        self._gauge("pool_budget_bytes", budget_bytes)
         self._publish()
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        self.metrics.inc(name, amount, labels=self.metric_labels)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value, labels=self.metric_labels)
 
     # -- introspection -----------------------------------------------------
 
@@ -143,10 +155,10 @@ class ColumnPool:
             self._tick += 1
             resident = self._residents.get(key)
             if resident is None:
-                self.metrics.inc("pool_misses")
+                self._inc("pool_misses")
                 return None
             resident.last_used = self._tick
-            self.metrics.inc("pool_hits")
+            self._inc("pool_hits")
             return resident
 
     def admit(
@@ -186,7 +198,7 @@ class ColumnPool:
                         existing.pin_count += 1
                     return existing
             if nbytes > self.budget_bytes:
-                self.metrics.inc("pool_rejections")
+                self._inc("pool_rejections")
                 raise PoolAdmissionError(
                     f"{key}: {nbytes} bytes exceed the whole device budget "
                     f"of {self.budget_bytes} bytes"
@@ -203,7 +215,7 @@ class ColumnPool:
                 release=release,
             )
             self._residents[key] = resident
-            self.metrics.inc("pool_admissions")
+            self._inc("pool_admissions")
             self._publish()
             return resident
 
@@ -247,7 +259,7 @@ class ColumnPool:
             resident = self._residents.pop(key, None)
             if resident is None:
                 return False
-            self.metrics.inc("pool_invalidations")
+            self._inc("pool_invalidations")
             self._publish()
             return True
 
@@ -281,7 +293,7 @@ class ColumnPool:
         while free < nbytes:
             victim = self._pick_victim()
             if victim is None:
-                self.metrics.inc("pool_rejections")
+                self._inc("pool_rejections")
                 raise PoolAdmissionError(
                     f"{for_key}: needs {nbytes} bytes but only {free} are free "
                     f"and every other resident is pinned"
@@ -294,8 +306,8 @@ class ColumnPool:
                     victim.keep_score(self._tick),
                 )
             )
-            self.metrics.inc("pool_evictions")
-            self.metrics.inc("pool_evicted_bytes", victim.nbytes)
+            self._inc("pool_evictions")
+            self._inc("pool_evicted_bytes", victim.nbytes)
             if victim.release is not None:
                 releases.append(victim.release)
         self._publish()
@@ -306,7 +318,7 @@ class ColumnPool:
             try:
                 release()
             except Exception:
-                self.metrics.inc("pool_release_errors")
+                self._inc("pool_release_errors")
 
     def _pick_victim(self) -> Resident | None:
         """Lowest keep-score unpinned resident, reconstructible class first."""
@@ -319,9 +331,11 @@ class ColumnPool:
 
     def _publish(self) -> None:
         resident_bytes = sum(r.nbytes for r in self._residents.values())
-        self.metrics.gauge("pool_resident_bytes", resident_bytes)
-        self.metrics.gauge("pool_residents", len(self._residents))
-        self.metrics.gauge_max("pool_peak_resident_bytes", resident_bytes)
+        self._gauge("pool_resident_bytes", resident_bytes)
+        self._gauge("pool_residents", len(self._residents))
+        self.metrics.gauge_max(
+            "pool_peak_resident_bytes", resident_bytes, labels=self.metric_labels
+        )
 
 
 def estimate_decode_cost_ms(enc: Any, device: GPUDevice) -> float:

@@ -40,12 +40,14 @@ import numpy as np
 from repro.core.random_access import gather
 from repro.engine.crystal import CrystalEngine, SSBQuery
 from repro.engine.ssb_queries import QUERIES
+from repro.formats import kernels
 from repro.formats.validate import CorruptTileError
 from repro.gpusim.executor import GPUDevice
 from repro.serving.faults import TransientDecodeError
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.pool import ColumnPool, PoolAdmissionError
 from repro.serving.semcache import DEFAULT_SEMCACHE_BUDGET, SemanticResultCache
+from repro.serving.sharding import ShardRouter
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
 
@@ -157,6 +159,9 @@ class QueryServer:
         trim_arenas_when_idle: bool = True,
         semantic_cache: bool = False,
         semcache_budget_bytes: int | None = None,
+        num_shards: int = 1,
+        interconnect_gbps: float = 50.0,
+        replicate_columns: tuple[str, ...] = (),
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -164,47 +169,91 @@ class QueryServer:
             raise ValueError(f"batch_window must be positive, got {batch_window}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.device = device if device is not None else GPUDevice()
-        if pool is None:
-            pool = ColumnPool(
-                budget_bytes
-                if budget_bytes is not None
-                else self.device.spec.global_capacity_bytes,
-                metrics=self.metrics,
-            )
-        self.pool = pool
-        self.store = store
-        self.engine = CrystalEngine(
-            db,
-            store,
-            self.device,
-            pool=pool,
-            streaming=streaming,
-            stream_workers=stream_workers,
-            morsel_tiles=morsel_tiles,
-            kernel_backend=kernel_backend,
-        )
-        # Morsel timings and the peak decoded-bytes gauge land next to
-        # the serving latency series.
-        self.engine.metrics = self.metrics
-        self.engine.verify_cached = verify_cached
-        #: Optional semantic result cache reusing per-tile-span partial
-        #: aggregates across overlapping queries (see serving.semcache).
+        #: Multi-GPU mode: a ShardRouter owning ``num_shards`` tile-range
+        #: shards replaces the single engine/device/pool.  ``None`` keeps
+        #: the classic single-device path byte-for-byte unchanged.
+        self.router: ShardRouter | None = None
         self.semcache: SemanticResultCache | None = None
-        if semantic_cache:
+        if num_shards > 1:
             if not streaming:
                 raise ValueError(
-                    "semantic_cache requires streaming=True: partials are "
-                    "cached at morsel granularity"
+                    "num_shards > 1 requires streaming=True: shards execute "
+                    "tile-span-restricted streaming plans"
                 )
-            self.semcache = SemanticResultCache(
-                semcache_budget_bytes
-                if semcache_budget_bytes is not None
-                else DEFAULT_SEMCACHE_BUDGET,
+            if device is not None or pool is not None:
+                raise ValueError(
+                    "num_shards > 1 builds its own per-shard devices and "
+                    "pools; device/pool cannot be passed"
+                )
+            if kernel_backend is not None:
+                # Backend selection is process-global; resolve it before
+                # the shard engines snapshot the active backend name.
+                kernels.set_backend(kernel_backend)
+            self.router = ShardRouter(
+                db,
+                store,
+                num_shards,
+                budget_bytes=budget_bytes,
                 metrics=self.metrics,
+                stream_workers=stream_workers,
+                morsel_tiles=morsel_tiles,
+                interconnect_gbps=interconnect_gbps,
+                verify_cached=verify_cached,
+                semantic_cache=semantic_cache,
+                semcache_budget_bytes=semcache_budget_bytes,
+                replicate_columns=replicate_columns,
             )
-            self.engine.semcache = self.semcache
+            self.store = store
+            # Compatibility views: the router's slowest-shard clock is
+            # the serving device, shard 0 stands in for engine/pool
+            # introspection (kernel backend, pushdown flags, ...).
+            self.device = self.router.sharded
+            self.engine = self.router.shards[0].engine
+            self.pool = self.router.shards[0].pool
+            self.semcache = self.engine.semcache
+        else:
+            self.device = device if device is not None else GPUDevice()
+            if pool is None:
+                pool = ColumnPool(
+                    budget_bytes
+                    if budget_bytes is not None
+                    else self.device.spec.global_capacity_bytes,
+                    metrics=self.metrics,
+                )
+            self.pool = pool
+            self.store = store
+            self.engine = CrystalEngine(
+                db,
+                store,
+                self.device,
+                pool=pool,
+                streaming=streaming,
+                stream_workers=stream_workers,
+                morsel_tiles=morsel_tiles,
+                kernel_backend=kernel_backend,
+            )
+            # Morsel timings and the peak decoded-bytes gauge land next to
+            # the serving latency series.
+            self.engine.metrics = self.metrics
+            self.engine.verify_cached = verify_cached
+            #: Optional semantic result cache reusing per-tile-span partial
+            #: aggregates across overlapping queries (see serving.semcache).
+            if semantic_cache:
+                if not streaming:
+                    raise ValueError(
+                        "semantic_cache requires streaming=True: partials are "
+                        "cached at morsel granularity"
+                    )
+                self.semcache = SemanticResultCache(
+                    semcache_budget_bytes
+                    if semcache_budget_bytes is not None
+                    else DEFAULT_SEMCACHE_BUDGET,
+                    metrics=self.metrics,
+                )
+                self.engine.semcache = self.semcache
         #: Release streaming decode-arena scratch when the scheduler
         #: thread has seen the queue empty for consecutive waits.
         self.trim_arenas_when_idle = trim_arenas_when_idle
@@ -360,6 +409,8 @@ class QueryServer:
                         ServedResult(ticket.request, "rejected",
                                      error="server stopped")
                     )
+        if self.router is not None:
+            self.router.close()
 
     def drain(self) -> int:
         """Process everything currently queued on the calling thread."""
@@ -407,7 +458,10 @@ class QueryServer:
         that memory serves nobody.  Returns the bytes released.
         """
         with self._engine_lock:
-            released = self.engine.trim_stream_arenas(max_bytes)
+            if self.router is not None:
+                released = self.router.trim_arenas(max_bytes)
+            else:
+                released = self.engine.trim_stream_arenas(max_bytes)
         if released:
             self.metrics.inc("arena_trim_releases")
             self.metrics.inc("arena_trimmed_bytes", released)
@@ -561,14 +615,21 @@ class QueryServer:
                     raise
                 redecoded.add(exc.column)
                 self.metrics.inc("server_corruption_redecodes")
-                self.engine.invalidate_column(exc.column)
+                self._invalidate_column(exc.column)
+
+    def _invalidate_column(self, column: str) -> None:
+        """Drop cached derivatives of a column — on every shard."""
+        if self.router is not None:
+            self.router.invalidate_column(column)
+        else:
+            self.engine.invalidate_column(column)
 
     def _quarantine(self, exc: CorruptTileError) -> None:
         """Record a column as persistently corrupt and drop its images."""
         self._quarantined[exc.column] = exc.reason
         self.metrics.inc("server_quarantines")
         self.metrics.gauge("server_quarantined_columns", len(self._quarantined))
-        self.engine.invalidate_column(exc.column)
+        self._invalidate_column(exc.column)
 
     def quarantined_columns(self) -> dict[str, str]:
         """Currently quarantined columns mapped to their failure reason."""
@@ -591,6 +652,14 @@ class QueryServer:
     def _run_query_group(
         self, query: SSBQuery, tickets: list[_Ticket]
     ) -> tuple[float, list[dict]]:
+        if self.router is not None:
+            # Sharded path: placement pins each shard's slice, the
+            # router's clock (slowest routed shard + interconnect merge)
+            # is the group's execution time.
+            with self.router.pinned(query.columns) as place_ms:
+                groups, execute_ms = self.router.execute(query)
+            execute_ms += place_ms
+            return execute_ms, [{"groups": dict(groups)} for _ in tickets]
         before = self.device.elapsed_ms
         with self._place_pinned(query.columns):
             result = self.engine.run(query)
@@ -602,6 +671,17 @@ class QueryServer:
     ) -> tuple[float, list[dict]]:
         col = self.store[name]
         all_indices = np.concatenate([t.request.indices for t in tickets])
+        if self.router is not None:
+            with self.router.pinned((name,)) as place_ms:
+                fetched, execute_ms = self.router.lookup(name, all_indices)
+            execute_ms += place_ms
+            payloads = []
+            offset = 0
+            for ticket in tickets:
+                n = ticket.request.indices.size
+                payloads.append({"values": fetched[offset : offset + n]})
+                offset += n
+            return execute_ms, payloads
         before = self.device.elapsed_ms
         with self._place_pinned((name,)):
             if self.engine.column_inline(name):

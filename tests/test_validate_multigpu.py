@@ -85,6 +85,56 @@ class TestShardedDevice:
         assert sum(sharded.shard_sizes(1_000_001)) == 1_000_001
         assert max(sharded.shard_sizes(10)) - min(sharded.shard_sizes(10)) <= 1
 
+    @pytest.mark.parametrize("tile", [512, 4096])
+    @pytest.mark.parametrize(
+        "total", [0, 1, 511, 512, 4096, 4097, 59_980, 1_000_001]
+    )
+    def test_tile_aligned_shard_sizes(self, tile, total):
+        """Every boundary lands on a tile multiple; only the last shard
+        may end mid-tile (the column's own ragged tail)."""
+        for devices in (1, 2, 4, 7):
+            sharded = ShardedDevice(num_devices=devices)
+            sizes = sharded.shard_sizes(total, tile=tile)
+            assert len(sizes) == devices
+            assert sum(sizes) == total
+            cumulative = 0
+            for i, size in enumerate(sizes):
+                cumulative += size
+                if cumulative < total:
+                    assert cumulative % tile == 0, (devices, i, cumulative)
+            # Non-empty shards are balanced to within one tile of work
+            # (plus the ragged tail the last shard may be short by).
+            busy = [s for s in sizes if s]
+            if busy:
+                assert max(busy) - min(busy) < 2 * tile
+
+    def test_shard_bounds_match_sizes(self):
+        sharded = ShardedDevice(num_devices=4)
+        bounds = sharded.shard_bounds(59_980, tile=4096)
+        sizes = sharded.shard_sizes(59_980, tile=4096)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 59_980
+        for (lo, hi), size in zip(bounds, sizes):
+            assert hi - lo == size
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_unaligned_total_tail_shards_empty(self):
+        """More devices than tiles: trailing shards get nothing, sizes
+        still sum exactly to the unaligned total."""
+        sharded = ShardedDevice(num_devices=7)
+        sizes = sharded.shard_sizes(2 * 4096 + 17, tile=4096)
+        assert sum(sizes) == 2 * 4096 + 17
+        assert sizes[3:] == [0, 0, 0, 0]
+        assert sizes[0] == 4096
+
+    def test_shard_sizes_tile_validation(self):
+        sharded = ShardedDevice(num_devices=2)
+        with pytest.raises(ValueError):
+            sharded.shard_sizes(100, tile=0)
+        with pytest.raises(ValueError):
+            sharded.shard_sizes(-1)
+
     def test_run_sharded_executes_per_device(self):
         sharded = ShardedDevice(num_devices=4)
 
