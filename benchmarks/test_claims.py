@@ -1,20 +1,9 @@
-"""Claims benches — the Section 1 planner-obsolescence argument and the
-Section 2.2 related-work comparisons."""
+"""Claims benches — the Section 2.2 related-work comparisons."""
 
 from conftest import run_once
 
-from repro.experiments import planner_obsolete, related_work
+from repro.experiments import related_work
 from repro.experiments.common import print_experiment
-
-
-def test_planner_obsolete(benchmark):
-    rows = run_once(benchmark, planner_obsolete.run, n=300_000)
-    print_experiment(
-        "Claims — §1: scheme-choice regret, cascading vs tile-based", rows
-    )
-    for r in rows:
-        assert r["tile_regret"] <= r["cascade_regret"] + 1e-9
-        assert r["tile_time_spread"] < r["cascade_time_spread"]
 
 
 def test_related_work(benchmark):

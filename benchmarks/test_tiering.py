@@ -1,0 +1,76 @@
+"""Adaptive codec tiering benchmark: warm-wall win over the static plan.
+
+Drives the Zipf-skewed scan+lookup mix from
+``repro.experiments.tiering_workload`` through two identically budgeted
+``QueryServer`` configurations — the planner's static per-column codec
+choice and the ``CodecTieringManager`` re-encoding columns between
+hot/warm/cold tiers from decayed access heat — and compares the
+*measured-suffix* serving wall after both modes' warmup (catalog
+staging, tier convergence) has settled.  Asserts the adaptive mode wins
+the warm wall by >=1.5x while staying within 10 % of the static
+compressed footprint, answers bit-identical throughout.  Emits
+``BENCH_tiering.json`` — walls, speedup, footprints, swap/reclaim
+counters, final tier placement — as the baseline future PRs compare
+against.
+
+Environment knobs:
+    REPRO_TIERING_SF    — SSB scale factor (default 0.2; deliberately
+                          independent of REPRO_BENCH_SF — tiering's
+                          decode/transfer trade is launch-noise below
+                          ~0.1)
+    REPRO_TIERING_REQS  — total requests in the stream (default 120)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import run_once
+from repro.experiments import tiering_workload
+
+TIERING_SF = float(
+    os.environ.get("REPRO_TIERING_SF", str(tiering_workload.TIERING_SF))
+)
+NUM_REQUESTS = int(os.environ.get("REPRO_TIERING_REQS", "120"))
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_tiering.json"
+
+
+def test_adaptive_tiering_warm_wall(benchmark):
+    result = run_once(
+        benchmark,
+        tiering_workload.run,
+        scale_factor=TIERING_SF,
+        num_requests=NUM_REQUESTS,
+    )
+
+    rows = {row["mode"]: row for row in result["rows"]}
+    # The tentpole claim: once tiers converge, the adaptive server beats
+    # the static plan's warm wall handily...
+    assert result["speedup"] >= 1.5, rows
+    # ...without trading away the compression the planner bought.
+    assert result["bytes_vs_static"] <= 1.10, rows
+    # The background loop actually did the work the win is credited to.
+    assert rows["adaptive"]["swaps"] > 0
+    assert rows["adaptive"]["bytes_reclaimed_MB"] > 0
+    tiers = set(result["tiers"].values())
+    assert tiers == {"hot", "warm", "cold"}, result["tiers"]
+
+    summary = {
+        "scale_factor": result["scale_factor"],
+        "num_requests": result["num_requests"],
+        "num_warmup": result["num_warmup"],
+        "budget_bytes": result["budget_bytes"],
+        "speedup": result["speedup"],
+        "bytes_vs_static": result["bytes_vs_static"],
+        "modes": rows,
+        "tiers": result["tiers"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"\ntiering: {result['speedup']:.2f}x adaptive warm-wall win "
+        f"(SF={result['scale_factor']:g}, "
+        f"bytes {result['bytes_vs_static']:.3f}x static, "
+        f"{rows['adaptive']['swaps']} swaps) -> {OUTPUT_PATH.name}"
+    )

@@ -30,7 +30,6 @@ from repro.experiments import (
     multigpu_scaling,
     sharding_workload,
     opt_ladder,
-    planner_obsolete,
     pushdown_sweep,
     random_access,
     related_work,
@@ -38,6 +37,7 @@ from repro.experiments import (
     sensitivity_gpu,
     serving_workload,
     streaming_scan,
+    tiering_workload,
 )
 
 EXPERIMENTS = {
@@ -55,7 +55,6 @@ EXPERIMENTS = {
     "compression_speed": (compression_speed, "E15 — §8 compression speed"),
     "sensitivity": (sensitivity_gpu, "extension — V100 vs A100"),
     "related_work": (related_work, "extension — VByte/PFOR/Simple-8b vs GPU-FOR"),
-    "planner_obsolete": (planner_obsolete, "claims — §1: pick-by-ratio is safe under tile decode"),
     "pushdown": (pushdown_sweep, "extension — metadata tile skipping vs selectivity"),
     "interconnect": (interconnect_sweep, "extension — coprocessor speedup vs link generation"),
     "multigpu": (multigpu_scaling, "extension — sharded SSB scan scaling"),
@@ -65,6 +64,7 @@ EXPERIMENTS = {
     "semcache": (semcache_workload, "extension — semantic result cache: drill-down reuse"),
     "faults": (fault_injection, "extension — corruption matrix + fault-injected serving"),
     "sharding": (sharding_workload, "extension — sharded serving: tile-range shards + zone-map routing"),
+    "tiering": (tiering_workload, "extension — workload-adaptive codec tiering vs static planner"),
 }
 
 

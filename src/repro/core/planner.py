@@ -193,6 +193,73 @@ def plan_column_stats(values: np.ndarray) -> PlannedColumn:
         return encode_with_plan(values, None, "none")
 
 
+def decode_cost_estimate(payload, device: GPUDevice) -> float:
+    """Per-codec decode cost in simulated ms — the planner's shared hook.
+
+    One cost model serves every consumer: stats-driven planning, the
+    serving pool's eviction scoring, and the codec-tiering manager all
+    price "what does re-materializing this column cost?" here, so a tier
+    decision and an eviction decision can never disagree about a codec's
+    decode expense.
+
+    Dispatches on the payload's representation:
+
+    * tile-decodable :class:`~repro.formats.base.EncodedColumn` — the
+      one-pass tile decompression launch, priced analytically by
+      :class:`~repro.gpusim.timing.CostModel` (no device ledger touched);
+    * :class:`PlannedColumn` / nvCOMP cascades — the layer-at-a-time
+      kernel sequence replayed on a throwaway probe device with the same
+      spec, since cascades have no single-launch closed form;
+    * non-tile :class:`~repro.formats.base.EncodedColumn` — a bandwidth
+      bound over compressed-in + decoded-out bytes;
+    * anything else (raw storage) — 0.0: there is nothing to decode.
+    """
+    from repro.core.nvcomp import NvCompColumn, decompress_nvcomp
+    from repro.formats.base import TileCodec
+    from repro.formats.registry import get_codec
+    from repro.gpusim.kernel import KernelLaunch, KernelSpec
+    from repro.gpusim.timing import CostModel
+
+    if isinstance(payload, PlannedColumn):
+        return decompress_planned(payload, GPUDevice(spec=device.spec)).simulated_ms
+    if isinstance(payload, NvCompColumn):
+        return decompress_nvcomp(payload, GPUDevice(spec=device.spec)).simulated_ms
+    if not isinstance(payload, EncodedColumn):
+        return 0.0
+    decoded_bytes = payload.count * 4
+    codec = get_codec(payload.codec)
+    if not isinstance(codec, TileCodec):
+        spec = device.spec
+        return (
+            spec.kernel_launch_us / 1000.0
+            + (payload.nbytes + decoded_bytes)
+            / (spec.global_bandwidth_gbps * 1e9)
+            * 1e3
+        )
+    res = codec.kernel_resources(payload)
+    n_tiles = codec.num_tiles(payload)
+    launch = KernelLaunch(
+        spec=KernelSpec(
+            name=f"estimate-decode-{payload.codec}",
+            block_threads=128,
+            registers_per_thread=res.registers_per_thread,
+            shared_mem_per_block=res.shared_mem_per_block,
+        ),
+        grid_blocks=max(1, n_tiles),
+        device_spec=device.spec,
+    )
+    launch.read_linear(payload.nbytes)
+    launch.write_linear(decoded_bytes)
+    launch.compute(
+        int(
+            res.compute_ops_per_element * payload.count
+            + res.tile_prologue_ops * n_tiles
+        )
+    )
+    launch.shared(int(res.shared_bytes_per_element * payload.count))
+    return CostModel(device.spec).launch_time_ms(launch)
+
+
 def _planned_passes(col: PlannedColumn) -> list[CascadePass]:
     """Kernel passes the cascading decompressor runs for this plan."""
     n = col.count

@@ -50,7 +50,7 @@ from repro.engine.predicates import (
     column_predicates,
 )
 from repro.ssb.dbgen import SSBDatabase
-from repro.ssb.loader import ColumnStore
+from repro.ssb.loader import ColumnStore, StoredColumn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> engine)
     from repro.core.updates import UpdatableColumn
@@ -186,7 +186,34 @@ class CrystalEngine:
 
     def column_inline(self, name: str) -> bool:
         """Whether this column decodes inline in the fact kernel."""
-        return self.store.system == "gpu-star" and self.store[name].codec_name != ""
+        return self.inline_column(self.store[name])
+
+    def inline_column(self, col: StoredColumn) -> bool:
+        """Object form of :meth:`column_inline`.
+
+        Readers racing an atomic tier swap must branch on the one
+        :class:`StoredColumn` snapshot they already fetched — re-fetching
+        by name could observe the *other* side of the swap and pair an
+        inline-ness verdict with the wrong payload.
+        """
+        return self.store.system == "gpu-star" and col.codec_name != ""
+
+    def pinned_decoded(self, name: str) -> np.ndarray | None:
+        """A hot column's pinned decoded image, if one is pool-resident.
+
+        The tiering manager pins decoded images of the hottest columns;
+        pricing paths treat such a column like uncompressed storage (the
+        fact kernel reads 4-byte rows, no inline decode), and value paths
+        serve slices of the image.  Only tier invalidation removes a
+        pinned resident, never eviction — so the pricing and value views
+        cannot diverge.
+        """
+        if self.pool is None:
+            return None
+        resident = self.pool.lookup(f"decoded/{name}")
+        if resident is not None and resident.pin_count > 0:
+            return resident.payload
+        return None
 
     def column_values(self, name: str) -> np.ndarray:
         """The decoded values a fact-kernel column load produces.
@@ -199,7 +226,7 @@ class CrystalEngine:
         reused across queries, like a device-resident decode buffer.
         """
         col = self.store[name]
-        if not self.column_inline(name):
+        if not self.inline_column(col):
             return col.values
         if self.pool is not None:
             return self._pool_decoded(name, col)
@@ -276,7 +303,7 @@ class CrystalEngine:
         cache holds only full decoded columns.
         """
         col = self.store[name]
-        if not self.column_inline(name):
+        if not self.inline_column(col):
             return col.values
         tile_active = np.asarray(tile_active, dtype=bool)
         if tile_active.all():
@@ -284,7 +311,9 @@ class CrystalEngine:
         # A cached full image is strictly better than a partial decode.
         if self.pool is not None:
             if self.pool.lookup(f"decoded/{name}") is not None:
-                return self.pool.get(f"decoded/{name}").payload
+                resident = self.pool.get(f"decoded/{name}")
+                if resident is not None:
+                    return resident.payload
         else:
             cached = self._decoded_cache.get(name)
             if cached is not None:
@@ -336,7 +365,7 @@ class CrystalEngine:
         verification (see :meth:`fusion_allowed`).
         """
         col = self.store[name]
-        if not self.column_inline(name):
+        if not self.inline_column(col):
             return col.values, None
         enc = col.payload
         if not self.fusion_allowed(enc):
@@ -344,7 +373,9 @@ class CrystalEngine:
         # A cached full image is strictly better than any re-decode.
         if self.pool is not None:
             if self.pool.lookup(f"decoded/{name}") is not None:
-                return self.pool.get(f"decoded/{name}").payload, None
+                resident = self.pool.get(f"decoded/{name}")
+                if resident is not None:
+                    return resident.payload, None
         else:
             cached = self._decoded_cache.get(name)
             if cached is not None:
@@ -432,7 +463,7 @@ class CrystalEngine:
 
     def _compute_tile_bounds(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         col = self.store[name]
-        if self.column_inline(name):
+        if self.inline_column(col):
             codec = get_codec(col.codec_name)
             enc = col.payload
             mins, maxs = codec.tile_bounds(enc)
@@ -533,14 +564,31 @@ class CrystalEngine:
         the column, so the store's image is swapped for the fresh encoding
         and all cached/pool-resident derivatives are invalidated — without
         this, the engine keeps serving the pre-update bytes forever.
+
+        The swap publishes a *new* :class:`StoredColumn` object atomically
+        (one dict store under the store's swap lock) instead of mutating
+        fields in place: a concurrent reader holds either the whole old
+        image or the whole new one, never a half-updated mix, and the
+        epoch bump makes any in-flight background re-encode of the old
+        bytes abort its compare-and-swap.  A flushed column always lands
+        back in the warm tier — its fresh planner choice is the baseline
+        the tiering manager re-scores from.
         """
-        stored = self.store[name]
 
         def _on_flush(ucol: "UpdatableColumn") -> None:
-            stored.values = ucol.values.copy()
-            stored.payload = ucol.encoded
-            stored.codec_name = ucol.codec_name
-            stored.nbytes = ucol.encoded.nbytes
+            old = self.store[name]
+            self.store.swap_column(
+                name,
+                StoredColumn(
+                    name=name,
+                    system=old.system,
+                    values=ucol.values.copy(),
+                    payload=ucol.encoded,
+                    nbytes=ucol.encoded.nbytes,
+                    codec_name=ucol.codec_name,
+                    tier="warm",
+                ),
+            )
             self.invalidate_column(name)
 
         column.add_invalidation_hook(_on_flush)
@@ -572,7 +620,10 @@ class CrystalEngine:
 
     def _compute_tile_read_bytes(self, name: str) -> np.ndarray:
         col = self.store[name]
-        if self.column_inline(name):
+        # A hot column with a pinned decoded image reads plain 4-byte
+        # rows — the tier invalidation that installs or removes the pin
+        # also drops this cached metadata, so the two views stay coherent.
+        if self.inline_column(col) and self.pinned_decoded(name) is None:
             codec = get_codec(col.codec_name)
             assert isinstance(codec, TileCodec)
             enc = col.payload
@@ -655,18 +706,31 @@ class CrystalEngine:
 
     def decompress_first(self, columns: tuple[str, ...]) -> None:
         """Decompress the needed fact columns to global memory (the
-        prologue nvCOMP / Planner / GPU-BP queries pay, Section 9.4)."""
+        prologue nvCOMP / Planner / GPU-BP queries pay, Section 9.4).
+
+        Cold-tier columns of any system pay the same shape of prologue:
+        their entropy-cascade payload cannot be decoded inline, so every
+        query touching one first unspills it (a PCIe staging transfer
+        when the bytes live only in the on-disk container) and runs the
+        cascade's kernels — the decode-cost side of the ratio-vs-speed
+        trade the tiering manager balances.
+        """
         system = self.store.system
-        if system not in DECOMPRESS_FIRST_SYSTEMS:
-            return
         for name in columns:
             col = self.store[name]
             if system == "nvcomp":
                 decompress_nvcomp(col.payload, self.device)
             elif system == "planner":
                 decompress_planned(col.payload, self.device)
-            else:  # gpu-bp
+            elif system == "gpu-bp":
                 decompress(col.payload, self.device, write_back=True)
+            elif col.tier == "cold":
+                payload = col.payload
+                if payload is None and col.spill_path is not None:
+                    payload = self.store.ensure_payload(name)
+                    self.device.transfer_to_device(col.nbytes)
+                if payload is not None:
+                    decompress_nvcomp(payload, self.device)
 
     def explain(self, query: "SSBQuery") -> list[dict]:
         """Run a query and return its per-kernel timeline (EXPLAIN ANALYZE).
@@ -906,7 +970,10 @@ class FactPipeline:
             return col.values
 
         self._read_bytes += read
-        if engine.column_inline(name):
+        # One snapshot decides both pricing and the value path; a hot
+        # column with a pinned decoded image loads like raw storage.
+        inline = engine.inline_column(col) and engine.pinned_decoded(name) is None
+        if inline:
             codec = get_codec(col.codec_name)
             assert isinstance(codec, TileCodec)
             res = codec.kernel_resources(col.payload)
@@ -947,11 +1014,7 @@ class FactPipeline:
         # stays with the matching filter_predicate call, which sees the
         # identical post-AND selection either way.
         pred = self._pushdown_preds.get(name)
-        if (
-            pred is not None
-            and name not in self._fused_preds
-            and engine.column_inline(name)
-        ):
+        if pred is not None and name not in self._fused_preds and inline:
             values, rowmask = self._column_slice_filtered(name, pred)
             if rowmask is not None:
                 self.mask &= rowmask

@@ -214,9 +214,15 @@ class _MorselPipeline(FactPipeline):
 
     def _column_slice(self, name: str) -> np.ndarray:
         m = self._morsel
-        if self.engine.column_inline(name):
-            return self._executor.decode_slice(name, m, self.tile_active)
-        return self.engine.store[name].values[m.row_lo : m.row_hi]
+        pinned = self.engine.pinned_decoded(name)
+        if pinned is not None:
+            return pinned[m.row_lo : m.row_hi]
+        # One snapshot decides the branch: a racing atomic tier swap must
+        # never pair an inline verdict with the other image's payload.
+        col = self.engine.store[name]
+        if self.engine.inline_column(col):
+            return self._executor.decode_slice(name, m, self.tile_active, col=col)
+        return col.values[m.row_lo : m.row_hi]
 
     def filter_pushdown(self, predicate) -> int:
         # Bounds were consulted once, globally, in the plan pass; the
@@ -480,6 +486,7 @@ class TileStreamExecutor:
         morsel: Morsel,
         tile_active: np.ndarray,
         predicate=None,
+        col=None,
     ):
         """Decode one column's chunk for a morsel into the worker's arena.
 
@@ -493,14 +500,25 @@ class TileStreamExecutor:
         ``(values, rowmask)`` views — or ``(values, None)`` when fusion
         cannot apply (checksummed column under active verification), in
         which case the caller evaluates the predicate itself.
+
+        ``col`` pins the caller's :class:`StoredColumn` snapshot so one
+        object serves both the inline check and the decode; without it a
+        fresh snapshot is taken here.  Either way a column that is no
+        longer tile-encoded (a racing tier swap published an uncompressed
+        or cold image) degrades to a plain values slice — bit-identical
+        by the swap's contract, never a torn decode.
         """
-        col = self.engine.store[name]
+        if col is None:
+            col = self.engine.store[name]
+        want_mask = predicate is not None
+        if not col.codec_name:
+            vals = col.values[morsel.row_lo : morsel.row_hi]
+            return (vals, None) if want_mask else vals
         if self.engine.fault_hook is not None:
             self.engine.fault_hook(name)
         codec = get_codec(col.codec_name)
         assert isinstance(codec, TileCodec)
         enc = col.payload
-        want_mask = predicate is not None
         if want_mask and not self.engine.fusion_allowed(enc):
             predicate = None
         elems = codec.tile_elements(enc)

@@ -22,6 +22,11 @@ multi-tenant server:
   routed only to shards surviving zone-map pushdown, per-shard partials
   scatter-gathered over the modeled interconnect (bit-identical answers
   at every shard count).
+* :class:`~repro.serving.tiering.CodecTieringManager` — workload-adaptive
+  codec tiering: per-column decayed access heat drives background
+  re-encoding between hot (decode-cheapest, optionally pinned decoded),
+  warm (planner's static choice) and cold (nvCOMP entropy, spillable to
+  disk) tiers, published by atomic epoch-checked column swaps.
 """
 
 from repro.serving.faults import (
@@ -60,9 +65,14 @@ from repro.serving.sharding import (
     ShardRouter,
     codec_tile_alignment,
 )
+from repro.serving.tiering import (
+    CodecTieringManager,
+    TieringPolicy,
+)
 
 __all__ = [
     "CachedPartial",
+    "CodecTieringManager",
     "ColumnPool",
     "ColumnShard",
     "DEFAULT_SEMCACHE_BUDGET",
@@ -79,6 +89,7 @@ __all__ = [
     "ServerClosed",
     "ServerSaturated",
     "ShardRouter",
+    "TieringPolicy",
     "TransientDecodeError",
     "codec_tile_alignment",
     "copy_encoded",

@@ -93,7 +93,8 @@ class _Series:
 
 
 class MetricsRegistry:
-    """Named counters, gauges, info labels, and observation series."""
+    """Named counters, gauges, info labels, observation series, and
+    exponentially-decayed counters (the heat signal codec tiering reads)."""
 
     def __init__(self, max_series_len: int = 100_000):
         if max_series_len <= 0:
@@ -103,6 +104,8 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         self._infos: dict[str, str] = {}
         self._series: dict[str, _Series] = {}
+        #: name -> (decayed value, timestamp of last decay application).
+        self._decayed: dict[str, tuple[float, float]] = {}
         self._max_series_len = max_series_len
 
     # -- writes ------------------------------------------------------------
@@ -143,7 +146,72 @@ class MetricsRegistry:
                 series = self._series[name] = _Series(self._max_series_len)
             series.observe(float(value))
 
+    def touch(
+        self,
+        name: str,
+        amount: float = 1.0,
+        *,
+        at: float,
+        half_life: float,
+        labels: dict | None = None,
+    ) -> float:
+        """Add ``amount`` to an exponentially-decayed counter at time ``at``.
+
+        The stored value first decays by ``0.5 ** (dt / half_life)`` for
+        the interval since its last touch, then ``amount`` is added — a
+        single multiply-add under the lock, O(1) regardless of history,
+        so per-column heat scoring never re-walks full series.  ``at`` and
+        ``half_life`` share one unit (the serving layer passes simulated
+        milliseconds).  Time never runs backwards: an earlier ``at`` is
+        clamped to the last-seen timestamp.
+
+        Returns the post-touch decayed value.
+        """
+        if half_life <= 0.0:
+            raise ValueError("half_life must be positive")
+        key = labeled(name, labels)
+        with self._lock:
+            value, last_at = self._decayed.get(key, (0.0, at))
+            at = max(at, last_at)
+            value = value * 0.5 ** ((at - last_at) / half_life) + amount
+            self._decayed[key] = (value, at)
+        return value
+
     # -- reads -------------------------------------------------------------
+
+    def decayed_value(
+        self,
+        name: str,
+        *,
+        now: float,
+        half_life: float,
+        labels: dict | None = None,
+    ) -> float:
+        """A decayed counter's value projected forward to time ``now``."""
+        with self._lock:
+            entry = self._decayed.get(labeled(name, labels))
+        if entry is None:
+            return 0.0
+        value, last_at = entry
+        if now <= last_at:
+            return value
+        return value * 0.5 ** ((now - last_at) / half_life)
+
+    def decayed_snapshot(self, *, now: float, half_life: float) -> dict[str, float]:
+        """Every decayed counter projected to ``now`` as one flat dict.
+
+        Only the dict items are copied under the lock; the decay math
+        (one ``pow`` per key) runs outside it, so a scrape never stalls
+        concurrent ``touch`` calls for longer than the copy.
+        """
+        with self._lock:
+            items = list(self._decayed.items())
+        out: dict[str, float] = {}
+        for key, (value, last_at) in items:
+            if now > last_at:
+                value = value * 0.5 ** ((now - last_at) / half_life)
+            out[key] = value
+        return out
 
     def counter(self, name: str, labels: dict | None = None) -> int:
         with self._lock:

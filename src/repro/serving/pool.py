@@ -33,11 +33,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-from repro.formats.base import EncodedColumn, TileCodec
-from repro.formats.registry import get_codec
 from repro.gpusim.executor import GPUDevice
-from repro.gpusim.kernel import KernelLaunch, KernelSpec
-from repro.gpusim.timing import CostModel
 from repro.serving.metrics import MetricsRegistry
 
 #: Resident kinds, in eviction-preference order (reconstructible first).
@@ -341,37 +337,10 @@ class ColumnPool:
 def estimate_decode_cost_ms(enc: Any, device: GPUDevice) -> float:
     """Price re-materializing a decoded image, via the gpusim cost model.
 
-    For tile codecs this builds the same one-pass decompression launch the
-    executor would and asks :class:`~repro.gpusim.timing.CostModel` for
-    its time — without touching any device ledger.  Non-tile payloads fall
-    back to a bandwidth bound over compressed-in + decoded-out bytes.
+    Delegates to the planner's per-codec
+    :func:`~repro.core.planner.decode_cost_estimate` hook, so eviction
+    scoring and codec-tiering decisions read one shared cost model.
     """
-    if not isinstance(enc, EncodedColumn):
-        return 0.0
-    decoded_bytes = enc.count * 4
-    codec = get_codec(enc.codec)
-    if not isinstance(codec, TileCodec):
-        spec = device.spec
-        return (
-            spec.kernel_launch_us / 1000.0
-            + (enc.nbytes + decoded_bytes) / (spec.global_bandwidth_gbps * 1e9) * 1e3
-        )
-    res = codec.kernel_resources(enc)
-    n_tiles = codec.num_tiles(enc)
-    launch = KernelLaunch(
-        spec=KernelSpec(
-            name=f"estimate-decode-{enc.codec}",
-            block_threads=128,
-            registers_per_thread=res.registers_per_thread,
-            shared_mem_per_block=res.shared_mem_per_block,
-        ),
-        grid_blocks=max(1, n_tiles),
-        device_spec=device.spec,
-    )
-    launch.read_linear(enc.nbytes)
-    launch.write_linear(decoded_bytes)
-    launch.compute(
-        int(res.compute_ops_per_element * enc.count + res.tile_prologue_ops * n_tiles)
-    )
-    launch.shared(int(res.shared_bytes_per_element * enc.count))
-    return CostModel(device.spec).launch_time_ms(launch)
+    from repro.core.planner import decode_cost_estimate
+
+    return decode_cost_estimate(enc, device)

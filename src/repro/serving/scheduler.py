@@ -48,6 +48,7 @@ from repro.serving.metrics import MetricsRegistry
 from repro.serving.pool import ColumnPool, PoolAdmissionError
 from repro.serving.semcache import DEFAULT_SEMCACHE_BUDGET, SemanticResultCache
 from repro.serving.sharding import ShardRouter
+from repro.serving.tiering import CodecTieringManager, TieringPolicy
 from repro.ssb.dbgen import SSBDatabase
 from repro.ssb.loader import ColumnStore
 
@@ -162,6 +163,7 @@ class QueryServer:
         num_shards: int = 1,
         interconnect_gbps: float = 50.0,
         replicate_columns: tuple[str, ...] = (),
+        tiering: "TieringPolicy | bool | None" = None,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -254,6 +256,30 @@ class QueryServer:
                     metrics=self.metrics,
                 )
                 self.engine.semcache = self.semcache
+        #: Workload-adaptive codec tiering: a background maintenance task
+        #: that re-encodes columns between hot/warm/cold tiers from the
+        #: decayed access counters this server records per group.  Pass
+        #: ``True`` for the default policy or a :class:`TieringPolicy`.
+        #: Maintenance runs on the scheduler thread's idle ticks (and on
+        #: demand via ``tiering.run_once``); swaps publish through
+        #: :meth:`_invalidate_column`, so engine caches, semantic-cache
+        #: epochs, and every shard observe one consistent epoch.
+        self.tiering: CodecTieringManager | None = None
+        if tiering:
+            policy = tiering if isinstance(tiering, TieringPolicy) else TieringPolicy()
+            if self.router is not None:
+                engines = tuple(s.engine for s in self.router.shards)
+            else:
+                engines = (self.engine,)
+            self.tiering = CodecTieringManager(
+                store=store,
+                engines=engines,
+                device=self.engine.device,
+                metrics=self.metrics,
+                policy=policy,
+                invalidate=self._invalidate_column,
+                clock=lambda: self.clock_ms,
+            )
         #: Release streaming decode-arena scratch when the scheduler
         #: thread has seen the queue empty for consecutive waits.
         self.trim_arenas_when_idle = trim_arenas_when_idle
@@ -397,6 +423,8 @@ class QueryServer:
             self._thread = None
         if thread is not None:
             thread.join()
+        if self.tiering is not None:
+            self.tiering.stop()
         if drain:
             self.drain()
         else:
@@ -442,6 +470,8 @@ class QueryServer:
                 stop_after = self._closed
             if idle_waits == 2 and not self.queue_depth:
                 self.trim_idle()
+                if self.tiering is not None:
+                    self.tiering.maybe_run()
                 continue
             batch = self._take_batch()
             if batch:
@@ -492,6 +522,10 @@ class QueryServer:
             live = self._expire(tickets, start_ms)
             if not live:
                 continue
+            if self.tiering is not None:
+                self.tiering.record_access(
+                    self._group_columns(rep), amount=float(len(live)), at=start_ms
+                )
             blocked = [
                 c for c in self._group_columns(rep) if c in self._quarantined
             ]
@@ -556,6 +590,11 @@ class QueryServer:
                 self.metrics.observe("queue_wait_ms", wait)
                 self.metrics.observe("execute_ms", execute_ms)
                 ticket.future.set_result(result)
+        # Tier maintenance between batches: re-encoding runs here, off
+        # the query path (no ticket is waiting on this thread), and
+        # publication is the store's atomic epoch-checked swap.
+        if self.tiering is not None:
+            self.tiering.maybe_run()
 
     def _expire(self, tickets: list[_Ticket], now_ms: float) -> list[_Ticket]:
         live = []
@@ -645,9 +684,20 @@ class QueryServer:
         return present
 
     def _place_pinned(self, columns: tuple[str, ...]):
-        """Stage a group's columns through the pool and pin them for it."""
-        self.store.place_on_device(self.pool, self.device, columns=columns)
-        return self.pool.pinned(*(f"compressed/{c}" for c in columns))
+        """Stage a group's columns through the pool and pin them for it.
+
+        Columns with a pinned decoded image (the hot tier) skip
+        compressed staging entirely: every read path serves the decoded
+        image, so transferring the compressed bytes would only burn PCIe
+        and pool budget.  If a tier swap drops the pinned image
+        mid-group, reads fall back to the column snapshot's own payload
+        — the pool resident is accounting, not a correctness dependency.
+        """
+        staged = tuple(
+            c for c in columns if self.engine.pinned_decoded(c) is None
+        )
+        self.store.place_on_device(self.pool, self.device, columns=staged)
+        return self.pool.pinned(*(f"compressed/{c}" for c in staged))
 
     def _run_query_group(
         self, query: SSBQuery, tickets: list[_Ticket]
@@ -684,9 +734,26 @@ class QueryServer:
             return execute_ms, payloads
         before = self.device.elapsed_ms
         with self._place_pinned((name,)):
-            if self.engine.column_inline(name):
+            # Branch on the one ``col`` snapshot fetched above: re-probing
+            # the store mid-lookup could observe the other side of a
+            # racing tier swap and pair the wrong payload with the
+            # verdict.  A hot column's pinned decoded image serves the
+            # batch as a plain coalesced gather — no per-tile decode.
+            pinned = self.engine.pinned_decoded(name)
+            if pinned is not None:
+                with self.device.launch(
+                    f"lookup-{name}", grid_blocks=max(1, all_indices.size // 128)
+                ) as k:
+                    k.read_gather(all_indices.size, 4, pinned.size * 4)
+                    k.compute(all_indices.size)
+                fetched = np.asarray(pinned)[all_indices]
+            elif self.engine.inline_column(col):
                 fetched = gather(col.payload, all_indices, self.device).values
             else:
+                if col.tier == "cold":
+                    # Entropy-coded payloads have no random access: the
+                    # batch pays the unspill + cascade decode prologue.
+                    self.engine.decompress_first((name,))
                 # Uncompressed: each index pulls one coalesced element.
                 with self.device.launch(
                     f"lookup-{name}", grid_blocks=max(1, all_indices.size // 128)

@@ -306,16 +306,24 @@ class ShardRouter:
             shard_ms = 0.0
             with shard.lock:
                 for name in columns:
+                    if shard.engine.pinned_decoded(name) is not None:
+                        # Hot tier: the pinned decoded image serves every
+                        # read on this shard — staging the compressed
+                        # bytes would only burn PCIe and pool budget.
+                        continue
                     col = self.store[name]
                     key = f"compressed/{name}"
                     if shard.pool.get(key) is not None:
                         continue
                     nbytes = self._shard_compressed_bytes(col, shard)
+                    payload = col.payload
+                    if payload is None and col.spill_path is not None:
+                        payload = self.store.ensure_payload(name)
                     shard.pool.admit(
                         key,
                         nbytes,
                         kind="compressed",
-                        payload=col.payload,
+                        payload=payload,
                         reconstruct_cost_ms=shard.device.spec.pcie.transfer_ms(
                             nbytes
                         ),
@@ -401,6 +409,9 @@ class ShardRouter:
             before = shard.device.elapsed_ms
             try:
                 engine, executor = shard.engine, shard.executor
+                # Cold-tier columns pay their unspill + cascade-decode
+                # prologue per shard, like the single-device engine.
+                engine.decompress_first(query.columns)
                 if engine.semcache is not None:
                     groups = engine.semcache.execute(engine, executor, query)
                 else:
@@ -557,9 +568,22 @@ class ShardRouter:
         """Gather ``idx`` of one column on a shard's device into ``out[pos]``."""
         with shard.lock:
             before = shard.device.elapsed_ms
-            if shard.engine.column_inline(col.name):
+            # Branch on the ``col`` snapshot the router fetched once: a
+            # tier swap racing this gather must not pair a re-probed
+            # verdict with the snapshot's payload.
+            pinned = shard.engine.pinned_decoded(col.name)
+            if pinned is not None:
+                with shard.device.launch(
+                    f"lookup-{col.name}", grid_blocks=max(1, idx.size // 128)
+                ) as k:
+                    k.read_gather(idx.size, 4, pinned.size * 4)
+                    k.compute(idx.size)
+                fetched = np.asarray(pinned)[idx]
+            elif shard.engine.inline_column(col):
                 fetched = gather(col.payload, idx, shard.device).values
             else:
+                if col.tier == "cold":
+                    shard.engine.decompress_first((col.name,))
                 with shard.device.launch(
                     f"lookup-{col.name}", grid_blocks=max(1, idx.size // 128)
                 ) as k:

@@ -13,7 +13,8 @@ each competing system's best configuration —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -43,6 +44,13 @@ class StoredColumn:
     nbytes: int
     #: Codec name for tile-decodable payloads ("" otherwise).
     codec_name: str = ""
+    #: Codec tier ("hot" / "warm" / "cold") the tiering manager maintains.
+    tier: str = "warm"
+    #: Monotone publish epoch: bumped by every atomic swap and flush, so
+    #: an off-path re-encode can detect that a flush won the race.
+    epoch: int = 0
+    #: On-disk container path for cold columns spilled out of memory.
+    spill_path: Any = None
 
 
 @dataclass
@@ -51,6 +59,11 @@ class ColumnStore:
 
     system: str
     columns: dict[str, StoredColumn]
+    #: Serializes atomic column swaps (readers stay lock-free: they take
+    #: one object snapshot via ``store[name]`` and never see a torn mix).
+    _swap_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def total_bytes(self) -> int:
@@ -58,6 +71,35 @@ class ColumnStore:
 
     def __getitem__(self, name: str) -> StoredColumn:
         return self.columns[name]
+
+    def swap_column(
+        self, name: str, new: StoredColumn, expected_epoch: int | None = None
+    ) -> StoredColumn | None:
+        """Atomically publish ``new`` as the stored image of ``name``.
+
+        The whole :class:`StoredColumn` object is replaced in one dict
+        store, so a concurrent reader holding the old object keeps a
+        self-consistent (values, payload, codec_name) triple and a reader
+        fetching after the swap sees only the new one — never a torn mix.
+
+        Args:
+            name: column to replace (must already exist).
+            new: replacement image; its ``epoch`` is assigned here.
+            expected_epoch: if given, the swap aborts (returns ``None``)
+                unless the current epoch still matches — the compare-and-
+                swap a background re-encode uses so a racing flush wins.
+
+        Returns:
+            The previous :class:`StoredColumn`, or ``None`` if the epoch
+            check failed.
+        """
+        with self._swap_lock:
+            old = self.columns[name]
+            if expected_epoch is not None and old.epoch != expected_epoch:
+                return None
+            new.epoch = old.epoch + 1
+            self.columns[name] = new
+            return old
 
     def place_on_device(self, pool, device, columns=None) -> float:
         """Admit columns' compressed images into a serving ColumnPool.
@@ -84,15 +126,46 @@ class ColumnStore:
             key = f"compressed/{name}"
             if pool.get(key) is not None:
                 continue
+            payload = col.payload
+            if payload is None and col.spill_path is not None:
+                payload = self.ensure_payload(name)
             pool.admit(
                 key,
                 col.nbytes,
                 kind="compressed",
-                payload=col.payload,
+                payload=payload,
                 reconstruct_cost_ms=device.spec.pcie.transfer_ms(col.nbytes),
             )
             total_ms += device.transfer_to_device(col.nbytes)
         return total_ms
+
+    def ensure_payload(self, name: str):
+        """Reload a spilled column's payload from its on-disk container.
+
+        Cold columns spilled by the tiering manager keep only a
+        ``spill_path``; the first touch after a demotion reads the
+        versioned container back and re-wraps the nvCOMP layering
+        recorded in its metadata.  The reloaded payload is cached on the
+        stored column, so repeat touches are free.
+        """
+        col = self.columns[name]
+        if col.payload is not None or col.spill_path is None:
+            return col.payload
+        from repro.core.nvcomp import NvCompColumn
+        from repro.formats.container import load_container
+
+        inner = load_container(col.spill_path, column=name)
+        scheme = inner.meta.get("nvcomp_scheme")
+        if scheme:
+            payload = NvCompColumn(
+                scheme=scheme,
+                inner=inner,
+                chunk_metadata_bytes=int(inner.meta.get("nvcomp_chunk_meta", 0)),
+            )
+        else:
+            payload = inner
+        col.payload = payload
+        return payload
 
 
 def compress_column(name: str, values: np.ndarray, system: str) -> StoredColumn:

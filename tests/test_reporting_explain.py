@@ -89,7 +89,7 @@ class TestReport:
         for marker in (
             "E1 —", "E2 —", "E3a —", "E4 —", "E5 —", "E6 —", "E7 —",
             "E8 —", "E9 —", "E10 —", "E11 —", "E12 —", "E13 —", "E14 —",
-            "E15 —", "E16 —", "X1 —", "X2 —", "X3 —",
+            "E15 —", "E16 —", "X2 —", "X3 —", "X7 —",
         ):
             assert marker in report, marker
 

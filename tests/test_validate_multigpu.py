@@ -195,15 +195,37 @@ class TestShardedDevice:
             ShardedDevice(num_devices=2).merge_results(-1)
 
 
-class TestPlannerObsoleteExperiment:
-    def test_tile_regret_below_cascade_regret(self):
-        from repro.experiments import planner_obsolete
+class TestDecodeCostEstimate:
+    """The per-codec cost hook that replaced the planner-obsolescence
+    experiment: tiering and pool eviction share one decode-cost model."""
 
-        rows = planner_obsolete.run(n=150_000)
-        for r in rows:
-            assert r["tile_regret"] <= r["cascade_regret"] + 1e-9, r["column"]
-        # And on at least one column the cascade regret is material (>1.5x)
-        # while tile stays close to 1 — the planner's raison d'etre gone.
-        assert any(
-            r["cascade_regret"] > 1.5 and r["tile_regret"] < 1.6 for r in rows
+    def test_orders_codecs_and_prices_all_payloads(self):
+        import numpy as np
+
+        from repro.core.nvcomp import encode_nvcomp
+        from repro.core.planner import decode_cost_estimate, plan_column
+        from repro.formats.registry import get_codec
+        from repro.gpusim.executor import GPUDevice
+
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 12, size=120_000)
+        device = GPUDevice()
+        costs = {}
+        for name in ("gpu-for", "gpu-dfor", "gpu-bp"):
+            enc = get_codec(name).encode(values)
+            costs[name] = decode_cost_estimate(enc, GPUDevice(spec=device.spec))
+            assert costs[name] > 0.0
+        # nvCOMP's layer-per-kernel cascade is priced above the fused
+        # tile decode of the same data — the cold tier's speed cost.
+        nv_cost = decode_cost_estimate(
+            encode_nvcomp(values), GPUDevice(spec=device.spec)
         )
+        assert nv_cost > min(costs.values())
+        planned_cost = decode_cost_estimate(
+            plan_column(values), GPUDevice(spec=device.spec)
+        )
+        assert planned_cost > 0.0
+        # Probing must not advance the caller's device clock.
+        assert device.elapsed_ms == 0.0
+        # Raw (non-encoded) payloads decode for free.
+        assert decode_cost_estimate(None, device) == 0.0
