@@ -1,0 +1,51 @@
+"""Query-compiler baseline: compiled declarative flights vs hand plans.
+
+Drives all 13 SSB flights through one streaming engine both ways —
+hand-written plan and compiled declarative spec — via the
+``compiler_workload`` driver (which raises on any non-bit-identical
+answer), pins the acceptance contract that compiled wall clock stays
+within 1.05x of hand-written, and emits ``BENCH_compiler.json`` as the
+perf baseline future PRs compare against.
+
+Environment knobs:
+    REPRO_BENCH_SF — SSB scale factor (default 0.02, see conftest)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+from repro.experiments import compiler_workload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compiler.json"
+
+#: Acceptance ceiling: compiled plans may cost at most 5% more wall
+#: clock than the hand-written oracle plans over the full flight mix.
+MAX_OVERHEAD = 1.05
+
+
+def test_compiled_flights_match_hand_within_overhead(benchmark, bench_db):
+    # run() itself raises if any compiled flight's groups deviate from
+    # the hand-written plan's.
+    summary = run_once(benchmark, compiler_workload.run, db=bench_db)
+
+    assert summary["mismatches"] == 0
+    assert summary["overhead"] <= MAX_OVERHEAD, summary["overhead"]
+    assert summary["joins_dropped_total"] > 0, "no join was ever eliminated"
+    assert summary["pushdown_conjuncts_total"] > 0, "nothing was pushed down"
+
+    OUTPUT_PATH.write_text(json.dumps(
+        {k: v for k, v in summary.items() if k != "rows"}, indent=2
+    ) + "\n")
+    print(
+        f"\ncompiler: {summary['num_queries']} flights bit-identical, "
+        f"compiled/hand wall = {summary['overhead']:.3f}x "
+        f"({summary['hand_ms_total']:.1f} ms -> "
+        f"{summary['compiled_ms_total']:.1f} ms), "
+        f"{summary['joins_dropped_total']} joins dropped, "
+        f"{summary['pushdown_conjuncts_total']} pushdown conjuncts, "
+        f"compile {summary['compile_ms_total']:.1f} ms "
+        f"-> {OUTPUT_PATH.name}"
+    )

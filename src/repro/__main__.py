@@ -16,6 +16,7 @@ import sys
 from repro.experiments import (
     ablation_miniblocks,
     ablation_vertical,
+    compiler_workload,
     compression_speed,
     fault_injection,
     fig5_blocks_per_tb,
@@ -65,6 +66,7 @@ EXPERIMENTS = {
     "faults": (fault_injection, "extension — corruption matrix + fault-injected serving"),
     "sharding": (sharding_workload, "extension — sharded serving: tile-range shards + zone-map routing"),
     "tiering": (tiering_workload, "extension — workload-adaptive codec tiering vs static planner"),
+    "compiler": (compiler_workload, "extension — star-schema query compiler vs hand-written flights"),
 }
 
 

@@ -891,7 +891,16 @@ class SSBQuery:
         (same plan family, same canonicalized filter), so the serving
         layer coalesces them into one execution even when their
         predicate objects were built differently.
+
+        An ad-hoc query that declares *neither* a plan_key nor a
+        predicate has no inspectable semantics — its plan lives in an
+        opaque ``fn`` — so its key falls back to object identity: a name
+        alone must never coalesce two distinct plans.  Registry queries
+        are module-level singletons, so repeated submissions of the same
+        object still batch together.
         """
+        if self.plan_key is None and self.predicate is None:
+            return (("query", self.name), ("object", id(self)))
         base = self.plan_key if self.plan_key is not None else ("query", self.name)
         return (base, canonical_key(self.predicate))
 

@@ -1,0 +1,33 @@
+"""Declarative star-schema queries compiled onto the tile engine.
+
+``repro.query`` is the semantic front end over the executor stack:
+
+* :mod:`repro.query.model` — :class:`SemanticModel` (fact, joins,
+  attributes, measures) and :class:`Query` (measures x filters x
+  group-bys) declarations;
+* :mod:`repro.query.compiler` — :class:`QueryCompiler`, which lowers a
+  (model, query) pair to a :class:`CompiledQuery` runnable by
+  :class:`~repro.engine.crystal.CrystalEngine` and everything built on
+  it (streaming, semantic cache, shards, serving);
+* :mod:`repro.query.ssb` / :mod:`repro.query.tpcds` — the SSB and
+  TPC-DS-subset models with their benchmark query specs.
+"""
+
+from repro.query.compiler import CompiledQuery, QueryCompiler
+from repro.query.model import (
+    Attribute,
+    DimensionJoin,
+    Measure,
+    Query,
+    SemanticModel,
+)
+
+__all__ = [
+    "Attribute",
+    "CompiledQuery",
+    "DimensionJoin",
+    "Measure",
+    "Query",
+    "QueryCompiler",
+    "SemanticModel",
+]

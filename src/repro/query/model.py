@@ -1,0 +1,211 @@
+"""Semantic star-schema models and declarative query specs.
+
+A :class:`SemanticModel` names what exists — one fact table, a join
+graph of FK-keyed dimensions, the attributes that hang off them, and
+the measures a query may aggregate.  A :class:`Query` names what is
+wanted — measures x filters x group-bys — in terms of the model's
+attribute names, never in terms of plans, lookups or predicates over
+the fact table.  The :mod:`repro.query.compiler` lowers a (model,
+query) pair onto the tile engine's :class:`~repro.engine.crystal.FactPipeline`.
+
+Filters reuse the engine's predicate IR (:mod:`repro.engine.predicates`)
+verbatim: a filter is a single-column predicate whose ``column`` is a
+model attribute name (``Equals("d_year", 1993)``) or a raw fact column
+(``Range("lo_discount", 1, 3)``).  The compiler rebinds attribute names
+to physical columns and resolves dimension predicates to FK-domain
+conjuncts, so the declarative surface and the executable plans share
+one predicate algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.predicates import And, ColumnPredicate, canonical_key
+
+__all__ = [
+    "Attribute",
+    "DimensionJoin",
+    "Measure",
+    "Query",
+    "SemanticModel",
+]
+
+#: Aggregates whose per-morsel partials merge additively; any mix of
+#: these may share one compiled plan (order-sensitive code packing keeps
+#: them apart).  ``min``/``max`` merge differently and must run alone.
+ADDITIVE_AGGREGATES = ("sum", "count")
+AGGREGATES = ADDITIVE_AGGREGATES + ("min", "max")
+
+#: Value expressions a measure may apply before aggregating.
+MEASURE_OPS = (None, "mul", "sub")
+
+
+@dataclass(frozen=True)
+class Measure:
+    """One declared aggregate over fact columns.
+
+    ``column`` (optionally combined with ``other`` through ``op``) is
+    the per-row value; ``how`` is the aggregate.  ``count`` needs no
+    value columns at all.
+    """
+
+    name: str
+    column: str | None = None
+    how: str = "sum"
+    op: str | None = None  # None | "mul" | "sub": column <op> other
+    other: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.how not in AGGREGATES:
+            raise ValueError(
+                f"measure {self.name!r}: unknown aggregate {self.how!r}; "
+                f"expected one of {AGGREGATES} (avg does not stream — "
+                f"declare sum and count measures and divide client-side)"
+            )
+        if self.op not in MEASURE_OPS:
+            raise ValueError(f"measure {self.name!r}: unknown op {self.op!r}")
+        if self.op is not None and self.other is None:
+            raise ValueError(f"measure {self.name!r}: op {self.op!r} needs 'other'")
+        if self.how != "count" and self.column is None:
+            raise ValueError(f"measure {self.name!r}: {self.how} needs a column")
+
+    @property
+    def merge_op(self) -> str:
+        """How partial aggregates of this measure combine across morsels."""
+        return "sum" if self.how in ADDITIVE_AGGREGATES else self.how
+
+    def fact_columns(self) -> tuple[str, ...]:
+        """Fact columns this measure reads, in load order."""
+        cols = () if self.column is None else (self.column,)
+        if self.other is not None:
+            cols += (self.other,)
+        return cols
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One queryable attribute: a physical column plus its code space.
+
+    ``domain``/``base`` define the attribute's dense dictionary-code
+    space for grouping: ``code = value - base`` with ``0 <= code <
+    domain``.  Filter-only attributes may declare ``domain=0`` (they can
+    never appear in a group-by).  ``table`` is a dimension table name or
+    the model's fact table for degenerate dimensions.
+    """
+
+    name: str
+    table: str
+    column: str
+    base: int = 0
+    domain: int = 0
+
+    @property
+    def groupable(self) -> bool:
+        return self.domain > 0
+
+
+@dataclass(frozen=True)
+class DimensionJoin:
+    """One edge of the join graph: fact FK column -> dimension key.
+
+    ``referential_integrity`` declares that every fact FK value appears
+    among the dimension's keys; the compiler may then replace an exact
+    contiguous key selection with a bare FK range (no join at all).
+    """
+
+    table: str
+    key: str
+    fact_key: str
+    referential_integrity: bool = True
+
+
+@dataclass
+class SemanticModel:
+    """A star schema the compiler can answer declarative queries over.
+
+    ``joins`` order is load-bearing: it is the deterministic probe order
+    of every compiled plan (filtered dimensions first in declaration
+    order matches the hand-written SSB plans' customer -> supplier ->
+    part -> date sequence).
+    """
+
+    name: str
+    fact: str
+    fact_columns: tuple[str, ...]
+    joins: tuple[DimensionJoin, ...]
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    measures: dict[str, Measure] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        tables = {j.table for j in self.joins}
+        if len(tables) != len(self.joins):
+            raise ValueError(f"model {self.name!r}: duplicate dimension joins")
+        for attr in self.attributes.values():
+            if attr.table != self.fact and attr.table not in tables:
+                raise ValueError(
+                    f"model {self.name!r}: attribute {attr.name!r} references "
+                    f"unjoined table {attr.table!r}"
+                )
+            if attr.table == self.fact and attr.column not in self.fact_columns:
+                raise ValueError(
+                    f"model {self.name!r}: fact attribute {attr.name!r} "
+                    f"references unknown fact column {attr.column!r}"
+                )
+        for measure in self.measures.values():
+            for col in measure.fact_columns():
+                if col not in self.fact_columns:
+                    raise ValueError(
+                        f"model {self.name!r}: measure {measure.name!r} "
+                        f"references unknown fact column {col!r}"
+                    )
+
+    def join_for(self, table: str) -> DimensionJoin:
+        for join in self.joins:
+            if join.table == table:
+                return join
+        raise KeyError(f"model {self.name!r} has no join to table {table!r}")
+
+    def attribute(self, name: str) -> Attribute | None:
+        return self.attributes.get(name)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative query: measures x filters x group-bys.
+
+    ``measures`` and ``group_by`` are model names (order significant —
+    group-by order drives group-code packing); ``filters`` are
+    single-column predicates over attribute names or fact columns.
+    Frozen and hashable, so servers can cache compilations per spec.
+    """
+
+    name: str
+    measures: tuple[str, ...]
+    filters: tuple[ColumnPredicate, ...] = ()
+    group_by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.measures:
+            raise ValueError(f"query {self.name!r} declares no measures")
+        if len(set(self.group_by)) != len(self.group_by):
+            raise ValueError(f"query {self.name!r} repeats a group-by attribute")
+        for pred in self.filters:
+            if isinstance(pred, And) or not isinstance(pred, ColumnPredicate):
+                raise TypeError(
+                    f"query {self.name!r}: filters must be single-column "
+                    f"predicates, got {type(pred).__name__}"
+                )
+
+    def spec_key(self) -> tuple:
+        """Hashable semantic identity of the spec (name excluded).
+
+        Filters canonicalize through the predicate IR, so two spellings
+        of the same conjunction (``Range(lo == hi)`` vs ``Equals``,
+        conjunct order) produce one key.
+        """
+        return (
+            self.measures,
+            canonical_key(And(self.filters)),
+            self.group_by,
+        )

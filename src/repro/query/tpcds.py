@@ -1,0 +1,113 @@
+"""A TPC-DS-subset star as a second :class:`SemanticModel`.
+
+The point of this model is generality: nothing in the compiler knows
+SSB, so declaring ``store_sales`` with date/item/store dimensions (see
+:func:`repro.ssb.dbgen.generate_tpcds_subset`) is all it takes to run
+retail-sales TPC-DS-style queries through the same
+``FactPipeline``/``TileStreamExecutor`` machinery.  The specs below are
+integer-dictionary renderings of the shapes of TPC-DS q3 / q42 / q55
+plus three coverage queries (profit measure, fact-column filter,
+multi-measure).
+"""
+
+from __future__ import annotations
+
+from repro.engine.predicates import Equals, Range
+from repro.query.model import Attribute, DimensionJoin, Measure, Query, SemanticModel
+from repro.ssb.dbgen import TPCDS_YEARS
+
+
+def tpcds_model() -> SemanticModel:
+    """The TPC-DS-subset semantic model (store_sales star)."""
+    return SemanticModel(
+        name="tpcds-subset",
+        fact="store_sales",
+        fact_columns=(
+            "ss_sold_date_sk",
+            "ss_item_sk",
+            "ss_store_sk",
+            "ss_quantity",
+            "ss_list_price",
+            "ss_sales_price",
+            "ss_ext_sales_price",
+            "ss_wholesale_cost",
+            "ss_ext_wholesale_cost",
+        ),
+        joins=(
+            DimensionJoin("date_dim", "d_date_sk", "ss_sold_date_sk"),
+            DimensionJoin("item", "i_item_sk", "ss_item_sk"),
+            DimensionJoin("store", "s_store_sk", "ss_store_sk"),
+        ),
+        attributes={
+            a.name: a
+            for a in (
+                Attribute("d_year", "date_dim", "d_year",
+                          base=TPCDS_YEARS.start, domain=len(TPCDS_YEARS)),
+                Attribute("d_moy", "date_dim", "d_moy", base=1, domain=12),
+                Attribute("d_qoy", "date_dim", "d_qoy", base=1, domain=4),
+                Attribute("i_brand", "item", "i_brand", domain=100),
+                Attribute("i_category", "item", "i_category", domain=10),
+                Attribute("i_class", "item", "i_class", domain=50),
+                Attribute("s_state", "store", "s_state", domain=20),
+                Attribute("s_county", "store", "s_county", domain=100),
+                Attribute("s_market_id", "store", "s_market_id", domain=10),
+                Attribute("ss_quantity", "store_sales", "ss_quantity",
+                          base=1, domain=100),
+            )
+        },
+        measures={
+            m.name: m
+            for m in (
+                Measure("ext_sales", "ss_ext_sales_price", how="sum"),
+                Measure("gross_profit", "ss_ext_sales_price",
+                        how="sum", op="sub", other="ss_ext_wholesale_cost"),
+                Measure("sum_quantity", "ss_quantity", how="sum"),
+                Measure("count_sales", how="count"),
+                Measure("max_sales", "ss_ext_sales_price", how="max"),
+            )
+        },
+    )
+
+
+#: Six TPC-DS-subset specs (golden plan-snapshot coverage).
+TPCDS_SPECS: dict[str, Query] = {
+    q.name: q
+    for q in (
+        # q3 shape: brand revenue by year for one category.
+        Query(
+            "tq3", measures=("ext_sales",),
+            filters=(Equals("i_category", 3),),
+            group_by=("d_year", "i_brand"),
+        ),
+        # q42 shape: category revenue for one month of one year.
+        Query(
+            "tq42", measures=("ext_sales",),
+            filters=(Equals("d_year", 2000), Equals("d_moy", 11)),
+            group_by=("i_category",),
+        ),
+        # q55 shape: brand revenue for one month of one year.
+        Query(
+            "tq55", measures=("ext_sales",),
+            filters=(Equals("d_year", 1999), Equals("d_moy", 11)),
+            group_by=("i_brand",),
+        ),
+        # Gross profit by year and state for one category.
+        Query(
+            "tq_profit", measures=("gross_profit",),
+            filters=(Equals("i_category", 5),),
+            group_by=("d_year", "s_state"),
+        ),
+        # Fact-column filter plus quarter grouping.
+        Query(
+            "tq_state", measures=("ext_sales",),
+            filters=(Equals("d_year", 2001), Range("ss_quantity", 1, 50)),
+            group_by=("s_state", "d_qoy"),
+        ),
+        # Multi-measure: additive aggregates share one plan.
+        Query(
+            "tq_counts", measures=("count_sales", "sum_quantity"),
+            filters=(Equals("s_market_id", 4),),
+            group_by=("i_category",),
+        ),
+    )
+}

@@ -47,6 +47,8 @@ from repro.serving.faults import TransientDecodeError
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.pool import ColumnPool, PoolAdmissionError
 from repro.serving.semcache import DEFAULT_SEMCACHE_BUDGET, SemanticResultCache
+from repro.query.compiler import QueryCompiler
+from repro.query.model import Query
 from repro.serving.sharding import ShardRouter
 from repro.serving.tiering import CodecTieringManager, TieringPolicy
 from repro.ssb.dbgen import SSBDatabase
@@ -164,6 +166,7 @@ class QueryServer:
         interconnect_gbps: float = 50.0,
         replicate_columns: tuple[str, ...] = (),
         tiering: "TieringPolicy | bool | None" = None,
+        compiler: QueryCompiler | None = None,
     ):
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -299,6 +302,16 @@ class QueryServer:
         #: until :meth:`release_quarantine`.
         self._quarantined: dict[str, str] = {}
 
+        #: Declarative front end: with a :class:`QueryCompiler` attached,
+        #: :meth:`query` accepts ad-hoc :class:`~repro.query.model.Query`
+        #: specs the registry has never seen.  Compilations cache per
+        #: spec object; batching still keys on the *compiled plan's*
+        #: canonical semantic key, so two structurally identical specs
+        #: compiled separately coalesce into one execution.
+        self.compiler = compiler
+        self._compile_cache: dict[Query, "object"] = {}
+        self._compile_lock = threading.Lock()
+
         self._state_lock = threading.Lock()
         self._not_empty = threading.Condition(self._state_lock)
         self._space_freed = threading.Condition(self._state_lock)
@@ -358,9 +371,32 @@ class QueryServer:
             self._not_empty.notify()
             return ticket.future
 
-    def query(self, name: "str | SSBQuery", timeout_ms: float | None = None,
+    def compile(self, spec: Query) -> SSBQuery:
+        """Compile a declarative spec through the attached compiler.
+
+        Compiled plans cache per spec (specs are frozen/hashable), so a
+        client resubmitting the same spec object — or an equal one —
+        pays compilation once.
+        """
+        if self.compiler is None:
+            raise ValueError(
+                "this server has no QueryCompiler attached; pass compiler= "
+                "to QueryServer to serve declarative Query specs"
+            )
+        with self._compile_lock:
+            compiled = self._compile_cache.get(spec)
+            if compiled is None:
+                compiled = self.compiler.compile(spec)
+                self._compile_cache[spec] = compiled
+        return compiled
+
+    def query(self, name: "str | SSBQuery | Query",
+              timeout_ms: float | None = None,
               block_s: float | None = None) -> Future:
-        """Submit one SSB query, by registry name or as an object."""
+        """Submit one query: registry name, plan object, or declarative
+        :class:`~repro.query.model.Query` spec (compiled on admission)."""
+        if isinstance(name, Query):
+            name = self.compile(name)
         if isinstance(name, SSBQuery):
             request = ServeRequest("query", name.name, query=name,
                                    timeout_ms=timeout_ms)

@@ -154,6 +154,132 @@ def generate(scale_factor: float = 0.1, seed: int = 42) -> SSBDatabase:
     return db
 
 
+@dataclass
+class StarDatabase:
+    """A generic star schema: one fact table plus named dimensions.
+
+    Duck-types the :class:`SSBDatabase` surface the engine layer
+    consumes (``num_lineorder_rows``, ``table``), so a
+    :class:`~repro.engine.crystal.CrystalEngine` — and everything above
+    it — runs unmodified over non-SSB stars.
+    """
+
+    name: str
+    scale_factor: float
+    fact_name: str
+    fact: dict[str, np.ndarray] = field(default_factory=dict)
+    dimensions: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def num_lineorder_rows(self) -> int:
+        first = next(iter(self.fact.values()))
+        return int(first.size)
+
+    def table(self, name: str) -> dict[str, np.ndarray]:
+        """Look a table up by name (the fact table or a dimension)."""
+        if name == self.fact_name:
+            return self.fact
+        if name in self.dimensions:
+            return self.dimensions[name]
+        raise KeyError(f"unknown {self.name} table {name!r}")
+
+
+#: TPC-DS subset sizing knobs (per unit scale factor).
+TPCDS_YEARS = range(1998, 2003)
+TPCDS_ITEMS_PER_SF = 20_000
+TPCDS_STORES_PER_SF = 500
+TPCDS_TICKETS_PER_SF = 400_000
+_TPCDS_MAX_LINES_PER_TICKET = 8
+
+
+def _gen_tpcds_date() -> dict[str, np.ndarray]:
+    """``date_dim``: one row per calendar day, dense surrogate keys."""
+    year, moy, dom = [], [], []
+    for y in TPCDS_YEARS:
+        for m in range(1, 13):
+            for d in range(1, _days_in_month(y, m) + 1):
+                year.append(y)
+                moy.append(m)
+                dom.append(d)
+    year = np.array(year, dtype=np.int64)
+    return {
+        "d_date_sk": np.arange(1, year.size + 1, dtype=np.int64),
+        "d_year": year,
+        "d_moy": np.array(moy, dtype=np.int64),
+        "d_dom": np.array(dom, dtype=np.int64),
+        "d_qoy": (np.array(moy, dtype=np.int64) - 1) // 3 + 1,
+    }
+
+
+def generate_tpcds_subset(
+    scale_factor: float = 0.01, seed: int = 42
+) -> StarDatabase:
+    """Generate a deterministic TPC-DS-subset star.
+
+    ``store_sales`` fact with ``date_dim`` / ``item`` / ``store``
+    dimensions — the minimal star the retail-sales TPC-DS queries (q3,
+    q42, q55, ...) touch.  Hierarchies are generated as dictionary codes
+    in the SSB style (brand -> category, county -> state), and tickets
+    repeat their date/store across lines so ``ss_sold_date_sk`` and
+    ``ss_store_sk`` carry SSB-like run lengths for the run-aware codecs.
+    """
+    rng = np.random.default_rng(seed)
+    date_dim = _gen_tpcds_date()
+
+    n_items = max(100, int(TPCDS_ITEMS_PER_SF * scale_factor))
+    brand = rng.integers(0, 100, n_items)
+    item = {
+        "i_item_sk": np.arange(1, n_items + 1, dtype=np.int64),
+        "i_brand": brand,
+        "i_category": brand // 10,
+        "i_class": rng.integers(0, 50, n_items),
+        "i_current_price": rng.integers(100, 10_001, n_items),
+    }
+
+    n_stores = max(20, int(TPCDS_STORES_PER_SF * scale_factor))
+    county = rng.integers(0, 100, n_stores)
+    store = {
+        "s_store_sk": np.arange(1, n_stores + 1, dtype=np.int64),
+        "s_county": county,
+        "s_state": county // 5,
+        "s_market_id": rng.integers(0, 10, n_stores),
+    }
+
+    n_tickets = max(100, int(TPCDS_TICKETS_PER_SF * scale_factor))
+    lines_per_ticket = rng.integers(1, _TPCDS_MAX_LINES_PER_TICKET + 1, n_tickets)
+    n = int(lines_per_ticket.sum())
+    ticket_of_line = np.repeat(np.arange(n_tickets), lines_per_ticket)
+
+    ticket_date = rng.integers(1, date_dim["d_date_sk"].size + 1, n_tickets)
+    ticket_store = rng.integers(1, n_stores + 1, n_tickets)
+    item_sk = rng.integers(1, n_items + 1, n)
+    quantity = rng.integers(1, 101, n)
+    list_price = item["i_current_price"][item_sk - 1]
+    # Sales price discounts the list price by 0-50%; wholesale sits
+    # below it, so the "sub" profit measure stays meaningful.
+    sales_price = list_price * (100 - rng.integers(0, 51, n)) // 100
+    wholesale = list_price * rng.integers(40, 81, n) // 100
+
+    fact = {
+        "ss_sold_date_sk": ticket_date[ticket_of_line].astype(np.int64),
+        "ss_item_sk": item_sk.astype(np.int64),
+        "ss_store_sk": ticket_store[ticket_of_line].astype(np.int64),
+        "ss_quantity": quantity.astype(np.int64),
+        "ss_list_price": list_price.astype(np.int64),
+        "ss_sales_price": sales_price.astype(np.int64),
+        "ss_ext_sales_price": (quantity * sales_price).astype(np.int64),
+        "ss_wholesale_cost": wholesale.astype(np.int64),
+        "ss_ext_wholesale_cost": (quantity * wholesale).astype(np.int64),
+    }
+    return StarDatabase(
+        name="tpcds-subset",
+        scale_factor=scale_factor,
+        fact_name="store_sales",
+        fact=fact,
+        dimensions={"date_dim": date_dim, "item": item, "store": store},
+    )
+
+
 def sort_lineorder_by(db: SSBDatabase, column: str = "lo_orderdate") -> SSBDatabase:
     """Return a copy of ``db`` with lineorder rows sorted by one column.
 

@@ -23,7 +23,7 @@ from repro.core.hybrid import choose_gpu_star
 from repro.core.nvcomp import encode_nvcomp
 from repro.core.planner import plan_column
 from repro.formats.registry import get_codec
-from repro.ssb.dbgen import SSBDatabase
+from repro.ssb.dbgen import SSBDatabase, StarDatabase
 from repro.ssb.schema import LINEORDER_COLUMNS
 
 #: Systems Figure 9 / Figure 11 compare.
@@ -203,5 +203,14 @@ def load_lineorder(db: SSBDatabase, system: str) -> ColumnStore:
     columns = {
         name: compress_column(name, db.lineorder[name], system)
         for name in LINEORDER_COLUMNS
+    }
+    return ColumnStore(system=system, columns=columns)
+
+
+def load_star(db: StarDatabase, system: str) -> ColumnStore:
+    """Compress every fact column of a generic star under ``system``."""
+    columns = {
+        name: compress_column(name, values, system)
+        for name, values in db.fact.items()
     }
     return ColumnStore(system=system, columns=columns)

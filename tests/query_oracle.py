@@ -1,0 +1,116 @@
+"""Naive uncompressed-numpy oracle for declarative star queries.
+
+Evaluates a :class:`repro.query.model.Query` directly over the raw
+dimension/fact arrays — plain masks, key gathers and ``np.bincount`` —
+with none of the engine machinery (no predicates pushdown, no lookups,
+no pipelines, no codecs).  The fuzz and compiler suites compare compiled
+execution against this.
+
+Result conventions deliberately mirror ``FactPipeline``'s contract so
+dictionaries compare with ``==``:
+
+* ungrouped ``sum`` answers ``{0: total}`` even over zero rows;
+* grouped sums/counts omit zero-sum groups (``np.flatnonzero``);
+* ``min``/``max`` return only touched groups (``{}`` over zero rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.model import Query, SemanticModel
+
+
+def _dim_gather(db, model, table: str, column: str, fact_key: str) -> np.ndarray:
+    """``column`` of each fact row's joined dimension row."""
+    join = model.join_for(table)
+    dim = db.table(table)
+    keys = np.asarray(dim[join.key], dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    fk = np.asarray(db.table(model.fact)[fact_key], dtype=np.int64)
+    pos = order[np.searchsorted(keys[order], fk)]
+    return np.asarray(dim[column], dtype=np.int64)[pos]
+
+
+def _measure_values(fact, measure) -> np.ndarray | None:
+    if measure.how == "count":
+        return None
+    values = np.asarray(fact[measure.column], dtype=np.int64)
+    if measure.op == "mul":
+        return values * np.asarray(fact[measure.other], dtype=np.int64)
+    if measure.op == "sub":
+        return values - np.asarray(fact[measure.other], dtype=np.int64)
+    return values
+
+
+def evaluate(model: SemanticModel, db, spec: Query) -> dict[int, int]:
+    """Evaluate ``spec`` naively; returns engine-convention group dicts."""
+    fact = db.table(model.fact)
+    n = int(next(iter(fact.values())).size)
+    mask = np.ones(n, dtype=bool)
+
+    for pred in spec.filters:
+        attr = model.attribute(pred.column)
+        if attr is not None and attr.table != model.fact:
+            join = model.join_for(attr.table)
+            dim = db.table(attr.table)
+            dim_mask = pred.row_mask(np.asarray(dim[attr.column]))
+            qualifying = np.asarray(dim[join.key], dtype=np.int64)[dim_mask]
+            mask &= np.isin(
+                np.asarray(fact[join.fact_key], dtype=np.int64), qualifying
+            )
+        else:
+            column = attr.column if attr is not None else pred.column
+            mask &= pred.row_mask(np.asarray(fact[column]))
+
+    codes = np.zeros(n, dtype=np.int64)
+    num_groups = 1
+    for name in spec.group_by:
+        attr = model.attribute(name)
+        if attr.table == model.fact:
+            vals = np.asarray(fact[attr.column], dtype=np.int64) - attr.base
+        else:
+            join = model.join_for(attr.table)
+            vals = _dim_gather(db, model, attr.table, attr.column,
+                               join.fact_key) - attr.base
+        codes = codes * attr.domain + vals
+        num_groups *= attr.domain
+
+    measures = [model.measures[m] for m in spec.measures]
+
+    if not spec.group_by and len(measures) == 1:
+        m = measures[0]
+        if m.how == "sum":
+            values = _measure_values(fact, m)
+            return {0: int(values[mask].sum())}
+        if not mask.any():
+            return {}
+        if m.how == "count":
+            return {0: int(np.count_nonzero(mask))}
+        values = _measure_values(fact, m)[mask]
+        return {0: int(values.min() if m.how == "min" else values.max())}
+
+    result: dict[int, int] = {}
+    n_measures = len(measures)
+    live_codes = codes[mask]
+    for i, m in enumerate(measures):
+        keyed = live_codes * n_measures + i if n_measures > 1 else live_codes
+        if m.how in ("sum", "count"):
+            if not mask.any():
+                continue
+            weights = (
+                np.ones(int(np.count_nonzero(mask)), dtype=np.float64)
+                if m.how == "count"
+                else _measure_values(fact, m)[mask].astype(np.float64)
+            )
+            sums = np.bincount(keyed, weights=weights,
+                               minlength=num_groups * n_measures)
+            result.update({int(c): int(sums[c]) for c in np.flatnonzero(sums)})
+        else:
+            values = _measure_values(fact, m)[mask]
+            for code in np.unique(keyed):
+                sel = values[keyed == code]
+                result[int(code)] = int(
+                    sel.min() if m.how == "min" else sel.max()
+                )
+    return result

@@ -1,0 +1,108 @@
+"""Golden plan-trace snapshots for the compiled SSB + TPC-DS queries.
+
+Every compiled plan's trace — resolved joins, FK reductions, pushdown
+conjuncts, decode-cost filter order, fused-filter and
+late-materialization decisions, surviving-tile counts — is snapshotted
+as JSON under ``tests/snapshots/``.  A planner regression (a dropped
+pushdown conjunct, a join that stopped eliminating, a cost-order flip)
+fails with a readable unified diff instead of a silent plan change.
+
+Regenerate intentionally with::
+
+    REPRO_UPDATE_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/test_query_plans.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.query.compiler import QueryCompiler
+from repro.query.ssb import SSB_SPECS, ssb_model
+from repro.query.tpcds import TPCDS_SPECS, tpcds_model
+from repro.ssb.dbgen import generate_tpcds_subset
+from repro.ssb.loader import load_star
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+UPDATE = os.environ.get("REPRO_UPDATE_SNAPSHOTS") == "1"
+
+
+def _render(trace: dict) -> str:
+    return json.dumps(trace, indent=2, sort_keys=True) + "\n"
+
+
+def _check_snapshot(name: str, trace: dict) -> None:
+    path = SNAPSHOT_DIR / f"{name}.json"
+    rendered = _render(json.loads(json.dumps(trace)))
+    if UPDATE or not path.exists():
+        SNAPSHOT_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        if not UPDATE:
+            pytest.fail(
+                f"snapshot {path.name} did not exist and was created; "
+                f"inspect and commit it"
+            )
+        return
+    expected = path.read_text(encoding="utf-8")
+    if rendered != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile=f"snapshots/{path.name} (committed)",
+                tofile=f"snapshots/{path.name} (compiled now)",
+            )
+        )
+        pytest.fail(
+            f"compiled plan for {name!r} changed:\n{diff}\n"
+            f"If intentional, regenerate with REPRO_UPDATE_SNAPSHOTS=1."
+        )
+
+
+@pytest.fixture(scope="module")
+def ssb_compiler(ssb_db, gpu_star_store):
+    return QueryCompiler(ssb_model(), ssb_db, store=gpu_star_store)
+
+
+@pytest.fixture(scope="module")
+def tpcds_compiler():
+    sdb = generate_tpcds_subset(scale_factor=0.01, seed=7)
+    return QueryCompiler(tpcds_model(), sdb, store=load_star(sdb, "gpu-star"))
+
+
+@pytest.mark.parametrize("name", tuple(SSB_SPECS))
+def test_ssb_plan_snapshot(ssb_compiler, name):
+    compiled = ssb_compiler.compile(SSB_SPECS[name])
+    _check_snapshot(f"ssb_{name.replace('.', '_')}", compiled.trace)
+
+
+@pytest.mark.parametrize("name", tuple(TPCDS_SPECS))
+def test_tpcds_plan_snapshot(tpcds_compiler, name):
+    compiled = tpcds_compiler.compile(TPCDS_SPECS[name])
+    _check_snapshot(f"tpcds_{name}", compiled.trace)
+
+
+def test_traces_record_planner_decisions(ssb_compiler):
+    """Sanity on trace content itself, independent of snapshot churn."""
+    q1 = ssb_compiler.compile(SSB_SPECS["q1.1"])
+    # Flight 1's date join reduces exactly to a datekey range: dropped.
+    assert q1.trace["joins"][0]["dropped"] is True
+    assert q1.trace["joins"][0]["exact"] is True
+    assert len(q1.trace["pushdown"]) == 3
+    assert set(q1.trace["filter_order"]) == {
+        "lo_orderdate", "lo_discount", "lo_quantity"
+    }
+    # Cheapest-decode-first: recorded costs are non-decreasing.
+    costs = [q1.trace["filter_cost_ms"][c] for c in q1.trace["filter_order"]]
+    assert costs == sorted(costs)
+
+    q4 = ssb_compiler.compile(SSB_SPECS["q4.2"])
+    tables = {j["table"]: j for j in q4.trace["joins"]}
+    assert tables["date"]["dropped"] is False  # d_year is group payload
+    assert tables["date"]["exact"] is True  # ...but the FK range is exact
+    assert any(c[1] == "lo_orderdate" for c in q4.trace["pushdown"])
+    assert q4.trace["surviving_tiles"] <= q4.trace["total_tiles"]

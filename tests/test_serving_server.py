@@ -149,6 +149,71 @@ class TestBatching:
             assert result.batch_size == 3
             assert np.array_equal(result.values, values[request_idx])
 
+    def test_same_named_adhoc_queries_never_coalesce(self, db, codec_store):
+        """Regression: two ad-hoc SSBQuery objects sharing a name but
+        running different plans used to collide on ``semantic_key()``
+        (name + empty predicate), so one request was answered with the
+        other's result.  Undeclared-semantics queries now key on object
+        identity."""
+        from repro.engine.crystal import SSBQuery
+
+        def sum_between(lo, hi):
+            def fn(engine):
+                p = engine.pipeline("adhoc")
+                quantity = p.load("lo_quantity")
+                p.filter((quantity >= lo) & (quantity <= hi))
+                revenue = p.load("lo_revenue")
+                result = p.total_sum(revenue)
+                p.finish()
+                return result
+            return SSBQuery("adhoc", ("lo_quantity", "lo_revenue"), fn)
+
+        narrow, wide = sum_between(1, 5), sum_between(1, 50)
+        assert narrow.semantic_key() != wide.semantic_key()
+
+        server = QueryServer(db, codec_store, batch_window=8)
+        results = server.serve([
+            ServeRequest("query", "adhoc", query=narrow),
+            ServeRequest("query", "adhoc", query=wide),
+        ])
+        assert all(r.ok for r in results)
+        assert all(r.batch_size == 1 for r in results)
+        assert results[0].groups[0] < results[1].groups[0]
+
+        # Resubmitting the *same object* still batches: identity is per
+        # plan, not per call.
+        repeats = server.serve([
+            ServeRequest("query", "adhoc", query=narrow),
+            ServeRequest("query", "adhoc", query=narrow),
+        ])
+        assert all(r.batch_size == 2 for r in repeats)
+        assert all(r.groups == results[0].groups for r in repeats)
+
+    def test_compiled_specs_batch_on_canonical_plan_key(self, db, codec_store):
+        """Declarative specs batch on the compiled plan's canonical key:
+        same structure coalesces across distinct spec objects, different
+        predicates never do — even under one shared name."""
+        from repro.engine.predicates import Equals, Range
+        from repro.query.compiler import QueryCompiler
+        from repro.query.model import Query
+        from repro.query.ssb import ssb_model
+
+        compiler = QueryCompiler(ssb_model(), db, store=codec_store)
+        server = QueryServer(db, codec_store, batch_window=8,
+                             compiler=compiler)
+        same_a = Query("adhoc", measures=("revenue",),
+                       filters=(Equals("s_region", 2),), group_by=("d_year",))
+        same_b = Query("adhoc", measures=("revenue",),
+                       filters=(Range("s_region", 2, 2),), group_by=("d_year",))
+        other = Query("adhoc", measures=("revenue",),
+                      filters=(Equals("s_region", 3),), group_by=("d_year",))
+        futures = [server.query(q) for q in (same_a, same_b, other)]
+        server.drain()
+        results = [f.result() for f in futures]
+        assert [r.batch_size for r in results] == [2, 2, 1]
+        assert results[0].groups == results[1].groups
+        assert results[2].groups != results[0].groups
+
 
 class TestBackpressure:
     def test_full_queue_rejects(self, db, codec_store):
